@@ -1,0 +1,80 @@
+// Command dlearn-bench runs the experiments that regenerate the tables and
+// figures of "Learning Over Dirty Data Without Cleaning" (SIGMOD 2020) over
+// the synthetic datasets shipped with this repository.
+//
+// Usage:
+//
+//	dlearn-bench -exp table4            # one experiment at paper scale
+//	dlearn-bench -exp all -quick        # every experiment, shrunk for a smoke run
+//
+// Experiments: table3, table4, table5, table6, table7, fig1left, fig1mid,
+// fig1right, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dlearn/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run: table3|table4|table5|table6|table7|fig1left|fig1mid|fig1right|all")
+		quick   = flag.Bool("quick", false, "shrink datasets and sweeps for a fast smoke run")
+		seed    = flag.Int64("seed", 1, "random seed for data generation and splits")
+		threads = flag.Int("threads", 16, "parallel coverage-testing workers")
+		folds   = flag.Int("folds", 0, "cross-validation folds (default: 5, or 2 with -quick)")
+	)
+	flag.Parse()
+
+	opts := bench.DefaultOptions()
+	if *quick {
+		opts = bench.QuickOptions()
+	}
+	opts.Seed = *seed
+	opts.Threads = *threads
+	if *folds > 0 {
+		opts.Folds = *folds
+	}
+	opts.Out = os.Stdout
+
+	runners := map[string]func(bench.Options) error{
+		"table3":   func(o bench.Options) error { _, err := bench.RunTable3(o); return err },
+		"table4":   func(o bench.Options) error { _, err := bench.RunTable4(o); return err },
+		"table5":   func(o bench.Options) error { _, err := bench.RunTable5(o); return err },
+		"table6":   func(o bench.Options) error { _, err := bench.RunTable6(o); return err },
+		"table7":   func(o bench.Options) error { _, err := bench.RunTable7(o); return err },
+		"fig1left": func(o bench.Options) error { _, err := bench.RunFigure1Left(o); return err },
+		"fig1mid":  func(o bench.Options) error { _, err := bench.RunFigure1Middle(o); return err },
+		"fig1right": func(o bench.Options) error {
+			_, err := bench.RunFigure1Right(o)
+			return err
+		},
+	}
+	order := []string{"table3", "table4", "table5", "table6", "table7", "fig1left", "fig1mid", "fig1right"}
+
+	selected := strings.ToLower(*exp)
+	if selected == "all" {
+		for _, name := range order {
+			if err := runners[name](opts); err != nil {
+				fmt.Fprintf(os.Stderr, "dlearn-bench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[selected]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dlearn-bench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(opts); err != nil {
+		fmt.Fprintf(os.Stderr, "dlearn-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,123 @@
+// Command dlearn-datagen emits one of the synthetic dirty datasets as CSV
+// files (one file per relation, plus positive and negative example files), so
+// the data can be inspected or consumed by other tools.
+//
+// Usage:
+//
+//	dlearn-datagen -dataset movies -out ./data/movies -violations 0.1
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dlearn"
+)
+
+func main() {
+	var (
+		dataset    = flag.String("dataset", "movies", "dataset to generate: movies|products|citations")
+		out        = flag.String("out", "./data", "output directory")
+		violations = flag.Float64("violations", 0, "CFD violation rate p")
+		seed       = flag.Int64("seed", 7, "generation seed")
+		scale      = flag.Int("scale", 0, "entity count override (movies/products/papers)")
+	)
+	flag.Parse()
+
+	var (
+		ds  *dlearn.Dataset
+		err error
+	)
+	switch *dataset {
+	case "movies":
+		cfg := dlearn.DefaultMoviesConfig()
+		cfg.ViolationRate = *violations
+		cfg.Seed = *seed
+		if *scale > 0 {
+			cfg.Movies = *scale
+		}
+		ds, err = dlearn.GenerateMovies(cfg)
+	case "products":
+		cfg := dlearn.DefaultProductsConfig()
+		cfg.ViolationRate = *violations
+		cfg.Seed = *seed
+		if *scale > 0 {
+			cfg.Products = *scale
+		}
+		ds, err = dlearn.GenerateProducts(cfg)
+	case "citations":
+		cfg := dlearn.DefaultCitationsConfig()
+		cfg.ViolationRate = *violations
+		cfg.Seed = *seed
+		if *scale > 0 {
+			cfg.Papers = *scale
+		}
+		ds, err = dlearn.GenerateCitations(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "dlearn-datagen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dlearn-datagen: %v\n", err)
+		os.Exit(1)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "dlearn-datagen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := writeDataset(ds, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "dlearn-datagen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s to %s\n", ds.Stats(), *out)
+}
+
+func writeDataset(ds *dlearn.Dataset, dir string) error {
+	schema := ds.Problem.Instance.Schema()
+	for _, rel := range schema.Relations() {
+		header := make([]string, rel.Arity())
+		for i, a := range rel.Attrs {
+			header[i] = a.Name
+		}
+		rows := [][]string{header}
+		for _, t := range ds.Problem.Instance.Tuples(rel.Name) {
+			rows = append(rows, t.Values)
+		}
+		if err := writeCSV(filepath.Join(dir, rel.Name+".csv"), rows); err != nil {
+			return err
+		}
+	}
+	examples := func(name string, tuples []dlearn.Tuple) error {
+		header := make([]string, ds.Problem.Target.Arity())
+		for i, a := range ds.Problem.Target.Attrs {
+			header[i] = a.Name
+		}
+		rows := [][]string{header}
+		for _, t := range tuples {
+			rows = append(rows, t.Values)
+		}
+		return writeCSV(filepath.Join(dir, name+".csv"), rows)
+	}
+	if err := examples("positive_examples", ds.Problem.Pos); err != nil {
+		return err
+	}
+	return examples("negative_examples", ds.Problem.Neg)
+}
+
+func writeCSV(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,144 @@
+// Command dlearn-learn learns a definition over CSV data produced by
+// dlearn-datagen (or in the same layout): one CSV file per relation with a
+// header row, plus positive_examples.csv and negative_examples.csv for the
+// target relation. Because CSV carries no schema metadata, the tool is
+// currently wired to the three shipped dataset layouts and rebuilds their
+// schemas and constraints by name.
+//
+// Usage:
+//
+//	dlearn-datagen -dataset movies -out ./data/movies
+//	dlearn-learn   -dataset movies -dir ./data/movies -km 5
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dlearn"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "movies", "dataset layout: movies|products|citations")
+		dir     = flag.String("dir", "./data", "directory containing the CSV files")
+		km      = flag.Int("km", 5, "number of top similarity matches k_m")
+		iters   = flag.Int("d", 3, "bottom-clause construction iterations d")
+		sample  = flag.Int("sample", 10, "bottom-clause sample size per relation")
+		threads = flag.Int("threads", 8, "parallel coverage-testing workers")
+		system  = flag.String("system", "DLearn", "system to run: DLearn|DLearn-CFD|DLearn-Repaired|Castor-NoMD|Castor-Exact|Castor-Clean")
+	)
+	flag.Parse()
+
+	// Rebuild the problem skeleton (schema, MDs, CFDs, target) from the
+	// generator, then replace its tuples and examples with the CSV contents.
+	skeleton, err := emptyProblem(*dataset)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dlearn-learn: %v\n", err)
+		os.Exit(2)
+	}
+	problem, err := loadProblem(skeleton, *dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dlearn-learn: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := dlearn.DefaultConfig()
+	cfg.BottomClause.KM = *km
+	cfg.BottomClause.Iterations = *iters
+	cfg.BottomClause.SampleSize = *sample
+	cfg.Threads = *threads
+
+	def, _, report, err := dlearn.RunBaseline(dlearn.System(*system), problem, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dlearn-learn: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("learned %d clauses in %s:\n\n%s\n", def.Len(), report.Duration.Round(1e7), def)
+}
+
+// emptyProblem returns the schema, constraints and target of a dataset
+// family with an empty instance and no examples.
+func emptyProblem(dataset string) (dlearn.Problem, error) {
+	var (
+		ds  *dlearn.Dataset
+		err error
+	)
+	switch dataset {
+	case "movies":
+		cfg := dlearn.DefaultMoviesConfig()
+		cfg.Movies = 1
+		cfg.Positives, cfg.Negatives = 0, 0
+		ds, err = dlearn.GenerateMovies(cfg)
+	case "products":
+		cfg := dlearn.DefaultProductsConfig()
+		cfg.Products = 1
+		cfg.Positives, cfg.Negatives = 0, 0
+		ds, err = dlearn.GenerateProducts(cfg)
+	case "citations":
+		cfg := dlearn.DefaultCitationsConfig()
+		cfg.Papers = 1
+		cfg.Positives, cfg.Negatives = 0, 0
+		ds, err = dlearn.GenerateCitations(cfg)
+	default:
+		return dlearn.Problem{}, fmt.Errorf("unknown dataset layout %q", dataset)
+	}
+	if err != nil {
+		return dlearn.Problem{}, err
+	}
+	p := ds.Problem
+	p.Instance = dlearn.NewInstance(p.Instance.Schema())
+	p.Pos, p.Neg = nil, nil
+	return p, nil
+}
+
+// loadProblem fills the problem with the tuples and examples found in dir.
+func loadProblem(p dlearn.Problem, dir string) (dlearn.Problem, error) {
+	schema := p.Instance.Schema()
+	for _, rel := range schema.Relations() {
+		rows, err := readCSV(filepath.Join(dir, rel.Name+".csv"))
+		if err != nil {
+			return p, err
+		}
+		for _, row := range rows {
+			if err := p.Instance.Insert(rel.Name, row...); err != nil {
+				return p, err
+			}
+		}
+	}
+	pos, err := readCSV(filepath.Join(dir, "positive_examples.csv"))
+	if err != nil {
+		return p, err
+	}
+	neg, err := readCSV(filepath.Join(dir, "negative_examples.csv"))
+	if err != nil {
+		return p, err
+	}
+	for _, row := range pos {
+		p.Pos = append(p.Pos, dlearn.NewTuple(p.Target.Name, row...))
+	}
+	for _, row := range neg {
+		p.Neg = append(p.Neg, dlearn.NewTuple(p.Target.Name, row...))
+	}
+	return p, nil
+}
+
+// readCSV reads a CSV file and returns its data rows (header skipped).
+func readCSV(path string) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(records) <= 1 {
+		return nil, nil
+	}
+	return records[1:], nil
+}

@@ -1,0 +1,94 @@
+// Command quickstart is the minimal end-to-end DLearn example: a tiny movie
+// database whose BOM-style titles only match the IMDB-style titles
+// approximately, a matching dependency connecting them, and a handful of
+// labelled examples. DLearn learns a Horn-clause definition of the target
+// relation highGrossing(title) directly over the dirty data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dlearn"
+)
+
+func main() {
+	// 1. Declare the schema. Domains mark which attributes are comparable;
+	// ConstAttr marks attributes whose values should stay constants in
+	// learned clauses (like genres).
+	schema := dlearn.NewSchema()
+	schema.MustAdd(dlearn.NewRelation("movies",
+		dlearn.Attr("id", "imdb_id"), dlearn.Attr("title", "imdb_title"), dlearn.ConstAttr("year", "year")))
+	schema.MustAdd(dlearn.NewRelation("mov2genres",
+		dlearn.Attr("id", "imdb_id"), dlearn.ConstAttr("genre", "genre")))
+	schema.MustAdd(dlearn.NewRelation("mov2countries",
+		dlearn.Attr("id", "imdb_id"), dlearn.ConstAttr("country", "country")))
+
+	// 2. Load the (dirty) database.
+	db := dlearn.NewInstance(schema)
+	movies := []struct{ id, title, year, genre, country string }{
+		{"m1", "Silent Harbor", "2007", "comedy", "USA"},
+		{"m2", "Crimson Station", "2001", "comedy", "UK"},
+		{"m3", "Golden Orchard", "2007", "comedy", "USA"},
+		{"m4", "Broken Mirror", "2007", "drama", "USA"},
+		{"m5", "Hidden Canyon", "1999", "drama", "Spain"},
+		{"m6", "Distant Signal", "2011", "thriller", "UK"},
+		{"m7", "Electric Parade", "2015", "comedy", "USA"},
+		{"m8", "Midnight Archive", "2018", "drama", "France"},
+	}
+	for _, m := range movies {
+		db.MustInsert("movies", m.id, m.title+" ("+m.year+")", m.year)
+		db.MustInsert("mov2genres", m.id, m.genre)
+		db.MustInsert("mov2countries", m.id, m.country)
+	}
+
+	// 3. The target relation lives in another "source" (BOM), so its titles
+	// are formatted differently; a matching dependency declares that the two
+	// title attributes refer to the same values when they are similar.
+	target := dlearn.NewRelation("highGrossing", dlearn.Attr("title", "bom_title"))
+	md := dlearn.SimpleMD("md_title", "highGrossing", "title", "movies", "title")
+
+	// 4. Training examples: the comedies are high grossing.
+	var pos, neg []dlearn.Tuple
+	for _, m := range movies {
+		e := dlearn.NewTuple("highGrossing", m.title) // note: no " (year)" suffix
+		if m.genre == "comedy" {
+			pos = append(pos, e)
+		} else {
+			neg = append(neg, e)
+		}
+	}
+
+	problem := dlearn.Problem{
+		Instance: db,
+		Target:   target,
+		MDs:      []dlearn.MD{md},
+		Pos:      pos,
+		Neg:      neg,
+	}
+
+	// 5. Learn directly over the dirty database — no cleaning step.
+	cfg := dlearn.DefaultConfig()
+	cfg.Threads = 4
+	def, report, err := dlearn.Learn(problem, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Learned definition:")
+	fmt.Println(def)
+	fmt.Printf("\nLearning took %s (%d candidate clauses considered)\n",
+		report.Duration.Round(1e6), report.ClausesConsidered)
+
+	// 6. Use the learned model to classify new, equally dirty examples.
+	model, _, err := dlearn.LearnModel(problem, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, title := range []string{"Golden Orchard", "Midnight Archive"} {
+		got, err := model.Predict(dlearn.NewTuple("highGrossing", title))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("highGrossing(%q)? %v\n", title, got)
+	}
+}

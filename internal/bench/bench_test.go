@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	def := DefaultOptions()
+	if def.Folds != 5 || def.Threads != 16 || def.Quick {
+		t.Errorf("unexpected defaults: %+v", def)
+	}
+	q := QuickOptions()
+	if !q.Quick || q.folds() != 2 {
+		t.Errorf("unexpected quick options: %+v", q)
+	}
+	if (Options{}).folds() != 5 {
+		t.Error("zero options should default to 5 folds")
+	}
+	if (Options{Quick: true}).folds() != 2 {
+		t.Error("quick options should default to 2 folds")
+	}
+}
+
+func TestSweepsShrinkInQuickMode(t *testing.T) {
+	full, quick := DefaultOptions(), QuickOptions()
+	if len(quick.Table4KMs()) >= len(full.Table4KMs()) {
+		t.Error("quick mode should sweep fewer k_m values")
+	}
+	if len(quick.Table5Rates()) >= len(full.Table5Rates()) {
+		t.Error("quick mode should sweep fewer violation rates")
+	}
+	if len(quick.Table6Sizes()) >= len(full.Table6Sizes()) {
+		t.Error("quick mode should sweep fewer example counts")
+	}
+	if len(quick.Table7Depths()) >= len(full.Table7Depths()) {
+		t.Error("quick mode should sweep fewer depths")
+	}
+	if len(quick.Figure1SampleSizes()) >= len(full.Figure1SampleSizes()) {
+		t.Error("quick mode should sweep fewer sample sizes")
+	}
+	if quick.iterationsFor("walmart") >= full.iterationsFor("walmart") {
+		t.Error("quick mode should trim the iteration depth")
+	}
+}
+
+func TestLearnerConfigQuickCaps(t *testing.T) {
+	q := QuickOptions()
+	cfg := q.learnerConfig(10, 4, 10)
+	if cfg.BottomClause.SampleSize > 4 {
+		t.Error("quick mode should cap the sample size")
+	}
+	if cfg.BottomClause.KM != 10 || cfg.BottomClause.Iterations != 4 {
+		t.Error("explicit km and iterations must be preserved")
+	}
+	full := DefaultOptions()
+	if full.learnerConfig(5, 4, 10).BottomClause.SampleSize != 10 {
+		t.Error("full mode must keep the requested sample size")
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	var buf bytes.Buffer
+	o := QuickOptions()
+	o.Out = &buf
+	stats, err := RunTable3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 4 {
+		t.Fatalf("Table 3 should have 4 dataset rows, got %d", len(stats))
+	}
+	out := buf.String()
+	for _, want := range []string{"IMDB+OMDB (1 MD)", "IMDB+OMDB (3 MD)", "Walmart+Amazon", "DBLP+Google Scholar"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 output missing %q:\n%s", want, out)
+		}
+	}
+	for _, s := range stats {
+		if s.Tuples == 0 || s.Positives == 0 || s.Negatives == 0 {
+			t.Errorf("empty dataset row: %+v", s)
+		}
+	}
+}
+
+func TestGenerateUnknownDataset(t *testing.T) {
+	o := QuickOptions()
+	if _, err := o.generate(datasetSpec{key: "nope"}, 0); err == nil {
+		t.Fatal("unknown dataset spec must be rejected")
+	}
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"dlearn/internal/baseline"
+	"dlearn/internal/datagen"
+)
+
+// FigurePoint is one point of a Figure 1 series: the swept parameter value,
+// the cross-validated F1-score and the mean learning time in minutes.
+type FigurePoint struct {
+	X       int
+	F1      float64
+	Minutes float64
+}
+
+// Figure1LeftSizes returns the example sweep of Figure 1 (left).
+func (o Options) Figure1LeftSizes() []int {
+	if o.Quick {
+		return []int{8, 16}
+	}
+	return []int{100, 500, 1000, 2000}
+}
+
+// RunFigure1Left regenerates Figure 1 (left): F1 and learning time while
+// increasing the number of training examples on IMDB+OMDB (3 MDs), MD-only,
+// k_m = 2.
+func RunFigure1Left(o Options) ([]FigurePoint, error) {
+	w := o.out()
+	fprintf(w, "Figure 1 (left): example scaling on IMDB+OMDB (3 MDs), km=2, MD-only\n")
+	var points []FigurePoint
+	for _, nPos := range o.Figure1LeftSizes() {
+		cfg := o.moviesConfig(3, 0)
+		cfg.Positives = nPos
+		cfg.Negatives = 2 * nPos
+		if !o.Quick {
+			cfg.Movies = maxInt(cfg.Movies, nPos*6)
+		}
+		ds, err := datagen.Movies(cfg)
+		if err != nil {
+			return nil, err
+		}
+		lcfg := o.learnerConfig(2, o.iterationsFor("imdb"), 10)
+		m, minutes, err := crossValidate(baseline.DLearn, ds, lcfg, o.folds(), o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		p := FigurePoint{X: nPos, F1: m.F1(), Minutes: minutes}
+		points = append(points, p)
+		fprintf(w, "  #P=%-5d F1=%.2f  time=%.2fm\n", p.X, p.F1, p.Minutes)
+	}
+	return points, nil
+}
+
+// Figure1SampleSizes returns the sample-size sweep of Figure 1 (middle and
+// right).
+func (o Options) Figure1SampleSizes() []int {
+	if o.Quick {
+		return []int{4, 10}
+	}
+	return []int{2, 5, 10, 15, 20}
+}
+
+// runFigure1Samples runs the sample-size sweep for a fixed k_m.
+func runFigure1Samples(o Options, km int, label string) ([]FigurePoint, error) {
+	w := o.out()
+	fprintf(w, "Figure 1 (%s): sample-size sweep on IMDB+OMDB (3 MDs), km=%d\n", label, km)
+	ds, err := datagen.Movies(o.moviesConfig(3, 0))
+	if err != nil {
+		return nil, err
+	}
+	var points []FigurePoint
+	for _, sample := range o.Figure1SampleSizes() {
+		lcfg := o.learnerConfig(km, o.iterationsFor("imdb"), sample)
+		m, minutes, err := crossValidate(baseline.DLearn, ds, lcfg, o.folds(), o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		p := FigurePoint{X: sample, F1: m.F1(), Minutes: minutes}
+		points = append(points, p)
+		fprintf(w, "  sample=%-3d F1=%.2f  time=%.2fm\n", p.X, p.F1, p.Minutes)
+	}
+	return points, nil
+}
+
+// RunFigure1Middle regenerates Figure 1 (middle): the sample-size sweep with
+// k_m = 2.
+func RunFigure1Middle(o Options) ([]FigurePoint, error) {
+	return runFigure1Samples(o, 2, "middle")
+}
+
+// RunFigure1Right regenerates Figure 1 (right): the sample-size sweep with
+// k_m = 5.
+func RunFigure1Right(o Options) ([]FigurePoint, error) {
+	km := 5
+	if o.Quick {
+		km = 3
+	}
+	return runFigure1Samples(o, km, "right")
+}

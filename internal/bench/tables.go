@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"fmt"
+
+	"dlearn/internal/baseline"
+	"dlearn/internal/datagen"
+)
+
+// datasetSpec names one generated dataset family for the experiment
+// runners.
+type datasetSpec struct {
+	key   string // "imdb1", "imdb3", "walmart", "dblp"
+	label string
+}
+
+func table4Datasets() []datasetSpec {
+	return []datasetSpec{
+		{key: "imdb1", label: "IMDB + OMDB (one MD)"},
+		{key: "imdb3", label: "IMDB + OMDB (three MDs)"},
+		{key: "walmart", label: "Walmart + Amazon"},
+		{key: "dblp", label: "DBLP + Google Scholar"},
+	}
+}
+
+func table5Datasets() []datasetSpec {
+	return []datasetSpec{
+		{key: "imdb3", label: "IMDB + OMDB (three MDs)"},
+		{key: "walmart", label: "Walmart + Amazon"},
+		{key: "dblp", label: "DBLP + Google Scholar"},
+	}
+}
+
+// generate builds the dataset for a spec with the given violation rate.
+func (o Options) generate(spec datasetSpec, p float64) (*datagen.Dataset, error) {
+	switch spec.key {
+	case "imdb1":
+		return datagen.Movies(o.moviesConfig(1, p))
+	case "imdb3":
+		return datagen.Movies(o.moviesConfig(3, p))
+	case "walmart":
+		return datagen.Products(o.productsConfig(p))
+	case "dblp":
+		return datagen.Citations(o.citationsConfig(p))
+	default:
+		return nil, fmt.Errorf("bench: unknown dataset %q", spec.key)
+	}
+}
+
+func (o Options) iterationsForSpec(spec datasetSpec) int {
+	switch spec.key {
+	case "walmart":
+		return o.iterationsFor("walmart")
+	case "dblp":
+		return o.iterationsFor("dblp")
+	default:
+		return o.iterationsFor("imdb")
+	}
+}
+
+// --- Table 3 ----------------------------------------------------------------
+
+// RunTable3 regenerates the dataset-statistics table (Table 3).
+func RunTable3(o Options) ([]datagen.Stats, error) {
+	w := o.out()
+	fprintf(w, "Table 3: dataset statistics\n")
+	var out []datagen.Stats
+	for _, spec := range table4Datasets() {
+		ds, err := o.generate(spec, 0)
+		if err != nil {
+			return nil, err
+		}
+		st := ds.Stats()
+		out = append(out, st)
+		fprintf(w, "  %s\n", st)
+	}
+	return out, nil
+}
+
+// --- Table 4 ----------------------------------------------------------------
+
+// Table4Row is one cell group of Table 4: a system's cross-validated
+// F1-score and learning time on one dataset (DLearn rows carry the k_m used).
+type Table4Row struct {
+	Dataset string
+	System  baseline.System
+	KM      int
+	F1      float64
+	Minutes float64
+}
+
+// Table4KMs returns the k_m sweep used for the DLearn columns of Table 4.
+func (o Options) Table4KMs() []int {
+	if o.Quick {
+		return []int{2, 5}
+	}
+	return []int{2, 5, 10}
+}
+
+// RunTable4 regenerates Table 4: learning over the MD-only datasets with
+// Castor-NoMD, Castor-Exact, Castor-Clean and DLearn (k_m ∈ {2,5,10}).
+func RunTable4(o Options) ([]Table4Row, error) {
+	w := o.out()
+	fprintf(w, "Table 4: learning over datasets with MDs (F1 / minutes)\n")
+	var rows []Table4Row
+	for _, spec := range table4Datasets() {
+		ds, err := o.generate(spec, 0)
+		if err != nil {
+			return nil, err
+		}
+		iters := o.iterationsForSpec(spec)
+		fprintf(w, "  %s\n", spec.label)
+		for _, system := range []baseline.System{baseline.CastorNoMD, baseline.CastorExact, baseline.CastorClean} {
+			cfg := o.learnerConfig(5, iters, 10)
+			m, minutes, err := crossValidate(system, ds, cfg, o.folds(), o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row := Table4Row{Dataset: spec.label, System: system, F1: m.F1(), Minutes: minutes}
+			rows = append(rows, row)
+			fprintf(w, "    %-14s          F1=%.2f  time=%.2fm\n", system, row.F1, row.Minutes)
+		}
+		for _, km := range o.Table4KMs() {
+			cfg := o.learnerConfig(km, iters, 10)
+			m, minutes, err := crossValidate(baseline.DLearn, ds, cfg, o.folds(), o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row := Table4Row{Dataset: spec.label, System: baseline.DLearn, KM: km, F1: m.F1(), Minutes: minutes}
+			rows = append(rows, row)
+			fprintf(w, "    %-14s (km=%-2d)  F1=%.2f  time=%.2fm\n", baseline.DLearn, km, row.F1, row.Minutes)
+		}
+	}
+	return rows, nil
+}
+
+// --- Table 5 ----------------------------------------------------------------
+
+// Table5Row is one cell group of Table 5: DLearn-CFD or DLearn-Repaired on a
+// dataset with violation rate p.
+type Table5Row struct {
+	Dataset string
+	System  baseline.System
+	P       float64
+	F1      float64
+	Minutes float64
+}
+
+// Table5Rates returns the violation-rate sweep of Table 5.
+func (o Options) Table5Rates() []float64 {
+	if o.Quick {
+		return []float64{0.05, 0.20}
+	}
+	return []float64{0.05, 0.10, 0.20}
+}
+
+// RunTable5 regenerates Table 5: DLearn-CFD vs DLearn-Repaired under
+// injected CFD violations.
+func RunTable5(o Options) ([]Table5Row, error) {
+	w := o.out()
+	fprintf(w, "Table 5: learning over datasets with MDs and CFD violations (F1 / minutes)\n")
+	var rows []Table5Row
+	for _, spec := range table5Datasets() {
+		fprintf(w, "  %s\n", spec.label)
+		iters := o.iterationsForSpec(spec)
+		// The paper uses k_m=5 for IMDB+OMDB and k_m=10 for the others.
+		km := 10
+		if spec.key == "imdb3" {
+			km = 5
+		}
+		if o.Quick {
+			km = 2
+		}
+		for _, system := range []baseline.System{baseline.DLearnCFD, baseline.DLearnRepaired} {
+			for _, p := range o.Table5Rates() {
+				ds, err := o.generate(spec, p)
+				if err != nil {
+					return nil, err
+				}
+				cfg := o.learnerConfig(km, iters, 10)
+				m, minutes, err := crossValidate(system, ds, cfg, o.folds(), o.Seed)
+				if err != nil {
+					return nil, err
+				}
+				row := Table5Row{Dataset: spec.label, System: system, P: p, F1: m.F1(), Minutes: minutes}
+				rows = append(rows, row)
+				fprintf(w, "    %-16s p=%.2f  F1=%.2f  time=%.2fm\n", system, p, row.F1, row.Minutes)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// --- Table 6 ----------------------------------------------------------------
+
+// Table6Row is one cell of Table 6: F1 and time while growing the number of
+// training examples, for a fixed k_m, on IMDB+OMDB (3 MDs) with CFD
+// violations.
+type Table6Row struct {
+	KM        int
+	Positives int
+	Negatives int
+	F1        float64
+	Minutes   float64
+}
+
+// Table6Sizes returns the training-set sweep of Table 6 (positive counts;
+// negatives are always twice as many).
+func (o Options) Table6Sizes() []int {
+	if o.Quick {
+		return []int{8, 16}
+	}
+	return []int{100, 500, 1000, 2000}
+}
+
+// Table6KMs returns the k_m values compared in Table 6.
+func (o Options) Table6KMs() []int {
+	if o.Quick {
+		return []int{2}
+	}
+	return []int{5, 2}
+}
+
+// RunTable6 regenerates Table 6: example-count scaling with CFD violations.
+func RunTable6(o Options) ([]Table6Row, error) {
+	w := o.out()
+	fprintf(w, "Table 6: scaling the number of examples on IMDB+OMDB (3 MDs) with CFD violations\n")
+	var rows []Table6Row
+	for _, km := range o.Table6KMs() {
+		for _, nPos := range o.Table6Sizes() {
+			cfg := o.moviesConfig(3, 0.10)
+			cfg.Positives = nPos
+			cfg.Negatives = 2 * nPos
+			// Grow the database with the requested example count so the
+			// requested number of positives exists.
+			if !o.Quick {
+				cfg.Movies = maxInt(cfg.Movies, nPos*6)
+			}
+			ds, err := datagen.Movies(cfg)
+			if err != nil {
+				return nil, err
+			}
+			lcfg := o.learnerConfig(km, o.iterationsFor("imdb"), 10)
+			m, minutes, err := crossValidate(baseline.DLearnCFD, ds, lcfg, o.folds(), o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row := Table6Row{KM: km, Positives: nPos, Negatives: 2 * nPos, F1: m.F1(), Minutes: minutes}
+			rows = append(rows, row)
+			fprintf(w, "  km=%-2d #P/#N=%d/%d  F1=%.2f  time=%.2fm\n", km, row.Positives, row.Negatives, row.F1, row.Minutes)
+		}
+	}
+	return rows, nil
+}
+
+// --- Table 7 ----------------------------------------------------------------
+
+// Table7Row is one cell of Table 7: the effect of the number of iterations d.
+type Table7Row struct {
+	D       int
+	F1      float64
+	Minutes float64
+}
+
+// Table7Depths returns the iteration sweep of Table 7.
+func (o Options) Table7Depths() []int {
+	if o.Quick {
+		return []int{2, 3}
+	}
+	return []int{2, 3, 4, 5}
+}
+
+// RunTable7 regenerates Table 7: DLearn-CFD on IMDB+OMDB (3 MDs + CFDs) with
+// varying bottom-clause construction depth d, k_m = 5.
+func RunTable7(o Options) ([]Table7Row, error) {
+	w := o.out()
+	fprintf(w, "Table 7: effect of the number of iterations d (IMDB+OMDB, 3 MDs + CFDs, km=5)\n")
+	ds, err := datagen.Movies(o.moviesConfig(3, 0.10))
+	if err != nil {
+		return nil, err
+	}
+	km := 5
+	if o.Quick {
+		km = 2
+	}
+	var rows []Table7Row
+	for _, d := range o.Table7Depths() {
+		cfg := o.learnerConfig(km, d, 10)
+		m, minutes, err := crossValidate(baseline.DLearnCFD, ds, cfg, o.folds(), o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := Table7Row{D: d, F1: m.F1(), Minutes: minutes}
+		rows = append(rows, row)
+		fprintf(w, "  d=%d  F1=%.2f  time=%.2fm\n", d, row.F1, row.Minutes)
+	}
+	return rows, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

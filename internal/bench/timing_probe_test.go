@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"dlearn/internal/baseline"
+	"dlearn/internal/datagen"
+	"dlearn/internal/eval"
+)
+
+// TestTimingProbe learns once with DLearn on a quick-mode IMDB+OMDB dataset
+// and reports how long it took. It guards against the learner regressing to
+// impractical runtimes (the experiment harness runs dozens of such fits).
+func TestTimingProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing probe skipped in -short mode")
+	}
+	o := QuickOptions()
+	cfg := o.moviesConfig(1, 0)
+	ds, err := datagen.Movies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	lcfg := o.learnerConfig(2, 3, 6)
+	res, err := baseline.Run(baseline.DLearn, ds.Problem, lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	split := eval.Split{TestPos: ds.Problem.Pos, TestNeg: ds.Problem.Neg}
+	m, err := eval.EvaluateSplit(res.Model, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("DLearn quick fit: %s, train %s, %d clauses", elapsed, m, res.Definition.Len())
+	if elapsed > 90*time.Second {
+		t.Errorf("single quick-mode DLearn fit took %s; the experiment harness would be impractical", elapsed)
+	}
+}

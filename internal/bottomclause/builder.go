@@ -1,0 +1,375 @@
+// Package bottomclause implements DLearn's bottom-clause construction
+// (Algorithm 2 of the paper): starting from a training example, it collects
+// the tuples connected to it through exact matches (over comparable
+// attributes) and through similarity matches (guided by matching
+// dependencies), and turns them into the most specific clause in the
+// hypothesis space that covers the example. Similarity matches contribute
+// similarity literals and MD repair literals; CFD violations among the
+// collected tuples contribute CFD repair literals (Section 4.1).
+package bottomclause
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dlearn/internal/constraints"
+	"dlearn/internal/logic"
+	"dlearn/internal/relation"
+	"dlearn/internal/similarity"
+)
+
+// MDMode selects how matching dependencies are used while collecting
+// relevant tuples.
+type MDMode int
+
+const (
+	// MDIgnore ignores MDs entirely (the Castor-NoMD baseline).
+	MDIgnore MDMode = iota
+	// MDExact uses MDs only to join their compared attributes with exact
+	// matches (the Castor-Exact baseline).
+	MDExact
+	// MDSimilarity performs top-k_m similarity search along MDs and adds
+	// similarity and repair literals (DLearn).
+	MDSimilarity
+)
+
+// Config controls bottom-clause construction.
+type Config struct {
+	// Iterations is d, the number of expansion rounds of Algorithm 2.
+	Iterations int
+	// SampleSize caps the number of tuples (hence relation literals) added
+	// to a bottom clause per relation. Zero means no cap.
+	SampleSize int
+	// KM is the number of top similar matches considered per probe value.
+	KM int
+	// SimilarityThreshold is the minimum combined similarity for ≈ to hold.
+	SimilarityThreshold float64
+	// MDMode selects how MDs are used.
+	MDMode MDMode
+	// UseCFDs adds repair literals for CFD violations among the collected
+	// tuples.
+	UseCFDs bool
+	// Seed drives the deterministic sampling of tuples when SampleSize is
+	// exceeded.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's experimental defaults (d per dataset,
+// sample size 10, k_m provided per experiment).
+func DefaultConfig() Config {
+	return Config{
+		Iterations:          3,
+		SampleSize:          10,
+		KM:                  5,
+		SimilarityThreshold: 0.55,
+		MDMode:              MDSimilarity,
+		UseCFDs:             true,
+	}
+}
+
+// Builder constructs (ground) bottom clauses for examples of a target
+// relation over a fixed database instance.
+type Builder struct {
+	inst   *relation.Instance
+	target *relation.Relation
+	mds    []constraints.MD
+	cfds   []constraints.CFD
+	cfg    Config
+
+	// simIndexes caches a similarity index per probed relation attribute.
+	simIndexes map[relation.AttrRef]*similarity.Index
+	simFunc    similarity.Func
+}
+
+// NewBuilder creates a builder. target describes the target relation (its
+// attribute domains determine which database attributes the example's
+// constants may join with); it does not need to be part of the instance
+// schema. MDs may reference the target relation as well as database
+// relations.
+func NewBuilder(inst *relation.Instance, target *relation.Relation, mds []constraints.MD, cfds []constraints.CFD, cfg Config) *Builder {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = DefaultConfig().Iterations
+	}
+	if cfg.KM <= 0 {
+		cfg.KM = DefaultConfig().KM
+	}
+	if cfg.SimilarityThreshold <= 0 {
+		cfg.SimilarityThreshold = DefaultConfig().SimilarityThreshold
+	}
+	return &Builder{
+		inst:       inst,
+		target:     target,
+		mds:        mds,
+		cfds:       cfds,
+		cfg:        cfg,
+		simIndexes: make(map[relation.AttrRef]*similarity.Index),
+		simFunc:    similarity.Default(),
+	}
+}
+
+// Config returns the builder configuration.
+func (b *Builder) Config() Config { return b.cfg }
+
+// simMatch records one approximate match found through an MD: probe value c
+// (from the MD's left side) matched value v in the right relation.
+type simMatch struct {
+	MD    constraints.MD
+	Probe string
+	Value string
+	Score float64
+}
+
+// collection is the result of the relevant-tuple search for one example.
+type collection struct {
+	tuples     []relation.Tuple
+	simMatches []simMatch
+}
+
+// BottomClause builds the variabilized bottom clause for the example: the
+// most specific clause in the hypothesis space covering it (Section 4.1).
+func (b *Builder) BottomClause(example relation.Tuple) (logic.Clause, error) {
+	col, err := b.collect(example)
+	if err != nil {
+		return logic.Clause{}, err
+	}
+	return b.buildClause(example, col, false), nil
+}
+
+// GroundBottomClause builds the ground bottom clause used by coverage
+// testing (Section 4.3): same structure, but database constants are kept.
+func (b *Builder) GroundBottomClause(example relation.Tuple) (logic.Clause, error) {
+	col, err := b.collect(example)
+	if err != nil {
+		return logic.Clause{}, err
+	}
+	return b.buildClause(example, col, true), nil
+}
+
+// collect implements the relevant-tuple search of Algorithm 2.
+func (b *Builder) collect(example relation.Tuple) (collection, error) {
+	if len(example.Values) != b.target.Arity() {
+		return collection{}, fmt.Errorf("bottomclause: example arity %d does not match target %s", len(example.Values), b.target)
+	}
+	rng := rand.New(rand.NewSource(b.cfg.Seed ^ int64(hashString(example.Key()))))
+
+	// M: known constants annotated with the domains they were seen in.
+	m := make(map[string]map[string]bool)
+	addConst := func(v, domain string) bool {
+		if m[v] == nil {
+			m[v] = make(map[string]bool)
+		}
+		if m[v][domain] {
+			return false
+		}
+		m[v][domain] = true
+		return true
+	}
+	for i, v := range example.Values {
+		addConst(v, b.target.Attrs[i].Domain)
+	}
+
+	var col collection
+	seenTuples := make(map[string]bool)
+	seenMatches := make(map[string]bool)
+	perRel := make(map[string]int)
+	schema := b.inst.Schema()
+
+	addTuple := func(t relation.Tuple) bool {
+		if seenTuples[t.Key()] {
+			return false
+		}
+		if b.cfg.SampleSize > 0 && perRel[t.Relation] >= b.cfg.SampleSize {
+			return false
+		}
+		seenTuples[t.Key()] = true
+		perRel[t.Relation]++
+		col.tuples = append(col.tuples, t)
+		return true
+	}
+
+	mds := b.activeMDs()
+
+	for iter := 0; iter < b.cfg.Iterations; iter++ {
+		frontier := snapshotConstants(m)
+		var added []relation.Tuple
+
+		for _, relName := range schema.Names() {
+			rel := schema.Relation(relName)
+			var candidates []relation.Tuple
+
+			// Exact selection over comparable attributes: σ_{A∈M}(R).
+			for a := 0; a < rel.Arity(); a++ {
+				domain := rel.Attrs[a].Domain
+				for _, c := range frontier {
+					if !m[c][domain] {
+						continue
+					}
+					candidates = append(candidates, b.inst.Select(relName, a, c)...)
+				}
+			}
+
+			// MD-guided search: ψ_{B≈M}(R) (similarity) or exact joins over
+			// the MD's compared attributes, depending on the mode.
+			for _, md := range mds {
+				if md.RightRel != relName {
+					continue
+				}
+				rIdx := md.RightAttrIndexes(schema)
+				for k, pair := range md.Similar {
+					leftDomain := b.attrDomain(md.LeftRel, pair.Left)
+					ra := rIdx[k]
+					if ra < 0 {
+						continue
+					}
+					for _, c := range frontier {
+						if !m[c][leftDomain] {
+							continue
+						}
+						switch b.cfg.MDMode {
+						case MDExact:
+							candidates = append(candidates, b.inst.Select(relName, ra, c)...)
+						case MDSimilarity:
+							for _, match := range b.similar(relName, ra, c) {
+								candidates = append(candidates, b.inst.Select(relName, ra, match.Value)...)
+								if match.Value != c {
+									key := md.Name + "\x1f" + c + "\x1f" + match.Value
+									if !seenMatches[key] {
+										seenMatches[key] = true
+										col.simMatches = append(col.simMatches, simMatch{
+											MD: md, Probe: c, Value: match.Value, Score: match.Score,
+										})
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+
+			candidates = dedupTuples(candidates)
+			// Respect the per-relation sample size by sampling the
+			// candidates deterministically.
+			if b.cfg.SampleSize > 0 {
+				budget := b.cfg.SampleSize - perRel[relName]
+				if budget <= 0 {
+					continue
+				}
+				if len(candidates) > budget {
+					rng.Shuffle(len(candidates), func(i, j int) {
+						candidates[i], candidates[j] = candidates[j], candidates[i]
+					})
+					candidates = candidates[:budget]
+				}
+			}
+			for _, t := range candidates {
+				if addTuple(t) {
+					added = append(added, t)
+				}
+			}
+		}
+
+		// Extract new constants from the tuples added this round.
+		grew := false
+		for _, t := range added {
+			rel := schema.Relation(t.Relation)
+			for a, v := range t.Values {
+				if addConst(v, rel.Attrs[a].Domain) {
+					grew = true
+				}
+			}
+		}
+		if !grew && len(added) == 0 {
+			break
+		}
+	}
+	// Keep matches only for probe/value pairs that actually appear in the
+	// clause, and order everything deterministically.
+	sort.SliceStable(col.simMatches, func(i, j int) bool {
+		a, b := col.simMatches[i], col.simMatches[j]
+		if a.MD.Name != b.MD.Name {
+			return a.MD.Name < b.MD.Name
+		}
+		if a.Probe != b.Probe {
+			return a.Probe < b.Probe
+		}
+		return a.Value < b.Value
+	})
+	return col, nil
+}
+
+// activeMDs returns the MDs in both orientations (similarity search may have
+// to walk an MD from either side), excluding them entirely in MDIgnore mode.
+func (b *Builder) activeMDs() []constraints.MD {
+	if b.cfg.MDMode == MDIgnore {
+		return nil
+	}
+	out := make([]constraints.MD, 0, 2*len(b.mds))
+	for _, md := range b.mds {
+		out = append(out, md, md.Reverse())
+	}
+	return out
+}
+
+// attrDomain returns the domain of an attribute of a database relation or of
+// the target relation.
+func (b *Builder) attrDomain(rel, attr string) string {
+	if rel == b.target.Name {
+		if i := b.target.AttrIndex(attr); i >= 0 {
+			return b.target.Attrs[i].Domain
+		}
+		return ""
+	}
+	r := b.inst.Schema().Relation(rel)
+	if r == nil {
+		return ""
+	}
+	if i := r.AttrIndex(attr); i >= 0 {
+		return r.Attrs[i].Domain
+	}
+	return ""
+}
+
+// similar returns the top-k_m values of the given relation attribute similar
+// to the probe, using a cached blocked index.
+func (b *Builder) similar(rel string, attr int, probe string) []similarity.Match {
+	ref := relation.AttrRef{Relation: rel, Attr: attr}
+	idx, ok := b.simIndexes[ref]
+	if !ok {
+		idx = similarity.NewIndex(b.inst.DistinctValues(rel, attr), b.simFunc, b.cfg.SimilarityThreshold)
+		b.simIndexes[ref] = idx
+	}
+	return idx.TopK(probe, b.cfg.KM)
+}
+
+func snapshotConstants(m map[string]map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func dedupTuples(ts []relation.Tuple) []relation.Tuple {
+	seen := make(map[string]bool, len(ts))
+	out := ts[:0]
+	for _, t := range ts {
+		k := t.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, t)
+	}
+	return out
+}
+
+func hashString(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

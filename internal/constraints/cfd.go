@@ -1,0 +1,330 @@
+package constraints
+
+import (
+	"fmt"
+	"strings"
+
+	"dlearn/internal/relation"
+)
+
+// Wildcard is the unnamed variable '-' of a CFD pattern tuple: it matches
+// any value.
+const Wildcard = "-"
+
+// CFD is a conditional functional dependency (X → A, tp) over a single
+// relation, with a single attribute on the right-hand side (Section 2.3
+// shows any CFD set is equivalent to one in this form). Pattern maps each
+// attribute of X ∪ {A} to a constant or to Wildcard.
+type CFD struct {
+	// Name identifies the CFD in clauses, logs and benchmarks.
+	Name string
+	// Relation is the relation the CFD constrains.
+	Relation string
+	// LHS is the attribute list X.
+	LHS []string
+	// RHS is the single attribute A.
+	RHS string
+	// Pattern is the pattern tuple tp over X ∪ {A}; missing entries default
+	// to Wildcard.
+	Pattern map[string]string
+}
+
+// NewCFD builds a CFD. A nil pattern means all-wildcard (a plain FD).
+func NewCFD(name, rel string, lhs []string, rhs string, pattern map[string]string) CFD {
+	if pattern == nil {
+		pattern = map[string]string{}
+	}
+	return CFD{Name: name, Relation: rel, LHS: lhs, RHS: rhs, Pattern: pattern}
+}
+
+// FD builds an unconditional functional dependency X → A (all-wildcard
+// pattern).
+func FD(name, rel string, lhs []string, rhs string) CFD {
+	return NewCFD(name, rel, lhs, rhs, nil)
+}
+
+// PatternOf returns the pattern entry for an attribute (Wildcard when
+// absent).
+func (c CFD) PatternOf(attr string) string {
+	if v, ok := c.Pattern[attr]; ok {
+		return v
+	}
+	return Wildcard
+}
+
+// MatchesPattern reports whether value ≍ pattern entry for attr, i.e. the
+// pattern is a wildcard or equals the value.
+func (c CFD) MatchesPattern(attr, value string) bool {
+	p := c.PatternOf(attr)
+	return p == Wildcard || p == value
+}
+
+// Validate checks that the CFD refers to existing relations/attributes and
+// that its pattern only mentions attributes in X ∪ {A}.
+func (c CFD) Validate(schema *relation.Schema) error {
+	r := schema.Relation(c.Relation)
+	if r == nil {
+		return fmt.Errorf("constraints: CFD %s: unknown relation %q", c.Name, c.Relation)
+	}
+	if len(c.LHS) == 0 {
+		return fmt.Errorf("constraints: CFD %s: empty left-hand side", c.Name)
+	}
+	if c.RHS == "" {
+		return fmt.Errorf("constraints: CFD %s: empty right-hand side", c.Name)
+	}
+	all := map[string]bool{c.RHS: true}
+	for _, a := range c.LHS {
+		if a == c.RHS {
+			return fmt.Errorf("constraints: CFD %s: attribute %q appears on both sides", c.Name, a)
+		}
+		all[a] = true
+	}
+	for _, a := range append(append([]string{}, c.LHS...), c.RHS) {
+		if r.AttrIndex(a) < 0 {
+			return fmt.Errorf("constraints: CFD %s: relation %s has no attribute %q", c.Name, c.Relation, a)
+		}
+	}
+	for a := range c.Pattern {
+		if !all[a] {
+			return fmt.Errorf("constraints: CFD %s: pattern mentions attribute %q outside X ∪ {A}", c.Name, a)
+		}
+	}
+	return nil
+}
+
+// LHSIndexes resolves the left-hand-side attributes to positions.
+func (c CFD) LHSIndexes(schema *relation.Schema) []int {
+	r := schema.Relation(c.Relation)
+	out := make([]int, len(c.LHS))
+	for i, a := range c.LHS {
+		out[i] = r.AttrIndex(a)
+	}
+	return out
+}
+
+// RHSIndex resolves the right-hand-side attribute to a position.
+func (c CFD) RHSIndex(schema *relation.Schema) int {
+	return schema.Relation(c.Relation).AttrIndex(c.RHS)
+}
+
+// String renders the CFD in the paper's (X → A, tp) notation.
+func (c CFD) String() string {
+	lhs := make([]string, len(c.LHS))
+	for i, a := range c.LHS {
+		lhs[i] = c.PatternOf(a)
+	}
+	return fmt.Sprintf("%s: (%s -> %s, (%s || %s)) on %s",
+		c.Name, strings.Join(c.LHS, ","), c.RHS, strings.Join(lhs, ","), c.PatternOf(c.RHS), c.Relation)
+}
+
+// Violation is a pair of tuples of a relation that violate a CFD: they agree
+// on X, match the pattern on X, and either disagree on A or fail to match
+// the pattern on A.
+type Violation struct {
+	CFD  CFD
+	Rel  string
+	PosA int
+	PosB int
+}
+
+// TupleViolates reports whether the ordered tuple pair (t1, t2) violates the
+// CFD: t1[X] = t2[X] ≍ tp[X] but not (t1[A] = t2[A] ≍ tp[A]).
+func (c CFD) TupleViolates(schema *relation.Schema, t1, t2 relation.Tuple) bool {
+	if t1.Relation != c.Relation || t2.Relation != c.Relation {
+		return false
+	}
+	lhs := c.LHSIndexes(schema)
+	for i, idx := range lhs {
+		if idx < 0 {
+			return false
+		}
+		if t1.Values[idx] != t2.Values[idx] {
+			return false
+		}
+		if !c.MatchesPattern(c.LHS[i], t1.Values[idx]) {
+			return false
+		}
+	}
+	rhs := c.RHSIndex(schema)
+	if rhs < 0 {
+		return false
+	}
+	if t1.Values[rhs] != t2.Values[rhs] {
+		return true
+	}
+	return !c.MatchesPattern(c.RHS, t1.Values[rhs])
+}
+
+// FindViolations scans an instance and returns every violating tuple pair
+// (i < j) of the CFD's relation. Pairs are grouped by the left-hand-side key
+// so the scan is linear in the relation size plus the number of violations.
+func (c CFD) FindViolations(in *relation.Instance) []Violation {
+	schema := in.Schema()
+	r := schema.Relation(c.Relation)
+	if r == nil {
+		return nil
+	}
+	lhs := c.LHSIndexes(schema)
+	rhs := c.RHSIndex(schema)
+	if rhs < 0 {
+		return nil
+	}
+	for _, i := range lhs {
+		if i < 0 {
+			return nil
+		}
+	}
+	tuples := in.Tuples(c.Relation)
+	groups := make(map[string][]int)
+	for pos, t := range tuples {
+		matches := true
+		keyParts := make([]string, len(lhs))
+		for i, idx := range lhs {
+			v := t.Values[idx]
+			keyParts[i] = v
+			if !c.MatchesPattern(c.LHS[i], v) {
+				matches = false
+				break
+			}
+		}
+		if !matches {
+			continue
+		}
+		key := strings.Join(keyParts, "\x1f")
+		groups[key] = append(groups[key], pos)
+	}
+	var out []Violation
+	for _, positions := range groups {
+		if len(positions) < 2 {
+			// A single tuple can still violate a constant pattern on A.
+			p := positions[0]
+			if !c.MatchesPattern(c.RHS, tuples[p].Values[rhs]) {
+				out = append(out, Violation{CFD: c, Rel: c.Relation, PosA: p, PosB: p})
+			}
+			continue
+		}
+		for i := 0; i < len(positions); i++ {
+			for j := i + 1; j < len(positions); j++ {
+				a, b := positions[i], positions[j]
+				if tuples[a].Values[rhs] != tuples[b].Values[rhs] ||
+					!c.MatchesPattern(c.RHS, tuples[a].Values[rhs]) {
+					out = append(out, Violation{CFD: c, Rel: c.Relation, PosA: a, PosB: b})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Satisfied reports whether the instance satisfies the CFD.
+func (c CFD) Satisfied(in *relation.Instance) bool { return len(c.FindViolations(in)) == 0 }
+
+// ValidateCFDs validates a set of CFDs and checks their names are unique.
+func ValidateCFDs(schema *relation.Schema, cfds []CFD) error {
+	seen := make(map[string]bool, len(cfds))
+	for _, c := range cfds {
+		if c.Name == "" {
+			return fmt.Errorf("constraints: CFD with empty name")
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("constraints: duplicate CFD name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if err := c.Validate(schema); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ConsistentCFDs reports whether a set of CFDs is consistent, i.e. admits a
+// non-empty instance (Section 2.3). The implementation uses the classic
+// pairwise chase on single-tuple witnesses: it is exact for the
+// constant-pattern conflicts described in the paper (e.g. (A→B, a1||b1) and
+// (B→A, b1||a2) with a1 ≠ a2) and conservative otherwise.
+func ConsistentCFDs(schema *relation.Schema, cfds []CFD) bool {
+	byRel := make(map[string][]CFD)
+	for _, c := range cfds {
+		byRel[c.Relation] = append(byRel[c.Relation], c)
+	}
+	for rel, group := range byRel {
+		r := schema.Relation(rel)
+		if r == nil {
+			continue
+		}
+		if !consistentGroup(r, group) {
+			return false
+		}
+	}
+	return true
+}
+
+// consistentGroup chases a single symbolic tuple: attributes forced to
+// constants by CFD right-hand sides whose left-hand sides are implied by the
+// accumulated constants. An inconsistency arises when two different
+// constants are forced onto the same attribute, or a forced constant
+// contradicts a pattern the chase already relied upon.
+func consistentGroup(rel *relation.Relation, group []CFD) bool {
+	forced := make(map[string]string)
+	// Seed with CFDs whose LHS patterns are all constants: any tuple whose X
+	// equals those constants must have A equal to the RHS pattern constant
+	// (if the RHS pattern is a constant). Build a witness tuple that matches
+	// all constant LHS patterns simultaneously when they do not conflict.
+	for iter := 0; iter < len(group)+1; iter++ {
+		changed := false
+		for _, c := range group {
+			applies := true
+			for _, a := range c.LHS {
+				p := c.PatternOf(a)
+				if p == Wildcard {
+					continue
+				}
+				if v, ok := forced[a]; ok && v != p {
+					applies = false
+					break
+				}
+			}
+			if !applies {
+				continue
+			}
+			// Tentatively assume the witness tuple matches the constant LHS
+			// pattern entries.
+			lhsAllConstOrForced := true
+			for _, a := range c.LHS {
+				if c.PatternOf(a) == Wildcard {
+					if _, ok := forced[a]; !ok {
+						lhsAllConstOrForced = false
+						break
+					}
+				}
+			}
+			if !lhsAllConstOrForced {
+				continue
+			}
+			for _, a := range c.LHS {
+				if p := c.PatternOf(a); p != Wildcard {
+					if _, ok := forced[a]; !ok {
+						forced[a] = p
+						changed = true
+					}
+				}
+			}
+			rp := c.PatternOf(c.RHS)
+			if rp == Wildcard {
+				continue
+			}
+			if v, ok := forced[c.RHS]; ok {
+				if v != rp {
+					return false
+				}
+			} else {
+				forced[c.RHS] = rp
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return true
+}

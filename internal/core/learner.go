@@ -1,0 +1,344 @@
+// Package core implements DLearn's top-level learning algorithm: the
+// covering loop of Algorithm 1 with the bottom-clause construction of
+// Section 4.1, the generalization of Section 4.2 and the coverage semantics
+// of Section 4.3. It also defines the learning problem and configuration
+// shared by the baselines.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dlearn/internal/bottomclause"
+	"dlearn/internal/constraints"
+	"dlearn/internal/coverage"
+	"dlearn/internal/generalize"
+	"dlearn/internal/logic"
+	"dlearn/internal/relation"
+	"dlearn/internal/repair"
+	"dlearn/internal/subsumption"
+)
+
+// Problem is one relational learning task: a database instance with its
+// declarative constraints, a target relation, and labelled training
+// examples (tuples of the target relation).
+type Problem struct {
+	Instance *relation.Instance
+	Target   *relation.Relation
+	MDs      []constraints.MD
+	CFDs     []constraints.CFD
+	Pos      []relation.Tuple
+	Neg      []relation.Tuple
+}
+
+// Validate checks the problem is well formed.
+func (p *Problem) Validate() error {
+	if p.Instance == nil || p.Target == nil {
+		return fmt.Errorf("core: problem needs an instance and a target relation")
+	}
+	if len(p.Pos) == 0 {
+		return fmt.Errorf("core: problem has no positive examples")
+	}
+	schema := p.Instance.Schema()
+	// MDs may reference the target relation; validate against a schema that
+	// includes it.
+	extended := relation.NewSchema()
+	for _, r := range schema.Relations() {
+		extended.MustAdd(r)
+	}
+	if !extended.Has(p.Target.Name) {
+		extended.MustAdd(p.Target)
+	}
+	if err := constraints.ValidateMDs(extended, p.MDs); err != nil {
+		return err
+	}
+	if err := constraints.ValidateCFDs(schema, p.CFDs); err != nil {
+		return err
+	}
+	if !constraints.ConsistentCFDs(schema, p.CFDs) {
+		return fmt.Errorf("core: the CFD set is inconsistent")
+	}
+	for _, e := range append(append([]relation.Tuple{}, p.Pos...), p.Neg...) {
+		if e.Relation != p.Target.Name {
+			return fmt.Errorf("core: example %s is not a tuple of the target relation %s", e, p.Target.Name)
+		}
+		if len(e.Values) != p.Target.Arity() {
+			return fmt.Errorf("core: example %s has wrong arity for target %s", e, p.Target)
+		}
+	}
+	return nil
+}
+
+// Config controls the learner.
+type Config struct {
+	// BottomClause configures bottom-clause construction (d, sample size,
+	// k_m, MD mode, CFD usage).
+	BottomClause bottomclause.Config
+	// GeneralizationSample is |E+_s|: how many uncovered positive examples
+	// are used to produce candidate generalizations in each step.
+	GeneralizationSample int
+	// NegativeSearchSample caps how many negative examples are used to score
+	// candidate clauses during the hill-climbing search (the acceptance test
+	// always uses all of them). Zero means all negatives.
+	NegativeSearchSample int
+	// MinPositiveCoverage is the minimum number of positive training
+	// examples a clause must cover to be added to the definition.
+	MinPositiveCoverage int
+	// MaxNegativeFraction is the maximum fraction of covered examples that
+	// may be negative for a clause to be accepted (noise tolerance).
+	MaxNegativeFraction float64
+	// MaxClauses bounds the number of clauses in the learned definition.
+	MaxClauses int
+	// Threads is the worker-pool size for coverage testing.
+	Threads int
+	// Seed drives every random choice (seed selection, candidate sampling).
+	Seed int64
+	// Subsumption bounds each θ-subsumption search.
+	Subsumption subsumption.Options
+	// Repair bounds repaired-clause expansion during coverage testing.
+	Repair repair.Options
+}
+
+// DefaultConfig mirrors the paper's experimental setup (sample size 10,
+// 16-thread coverage testing) with conservative defaults elsewhere.
+func DefaultConfig() Config {
+	return Config{
+		BottomClause:         bottomclause.DefaultConfig(),
+		GeneralizationSample: 10,
+		NegativeSearchSample: 32,
+		MinPositiveCoverage:  2,
+		MaxNegativeFraction:  0.3,
+		MaxClauses:           12,
+		Threads:              16,
+		Seed:                 1,
+		Subsumption:          subsumption.Options{MaxNodes: 20000},
+		Repair:               repair.Options{MaxClauses: 16, MaxStates: 512},
+	}
+}
+
+// Report summarizes a learning run.
+type Report struct {
+	// Duration is the wall-clock learning time.
+	Duration time.Duration
+	// BottomClauseTime is the time spent constructing ground bottom clauses
+	// for the training examples.
+	BottomClauseTime time.Duration
+	// ClausesConsidered counts candidate clauses scored during the search.
+	ClausesConsidered int
+	// SeedsTried counts how many positive examples served as seeds.
+	SeedsTried int
+	// UncoveredPositives is the number of positive examples the final
+	// definition does not cover.
+	UncoveredPositives int
+}
+
+// Learner runs DLearn (or, with the appropriate configuration, one of the
+// Castor-style baselines) on a Problem.
+type Learner struct {
+	cfg Config
+}
+
+// NewLearner builds a learner with the given configuration.
+func NewLearner(cfg Config) *Learner {
+	if cfg.GeneralizationSample <= 0 {
+		cfg.GeneralizationSample = DefaultConfig().GeneralizationSample
+	}
+	if cfg.MinPositiveCoverage <= 0 {
+		cfg.MinPositiveCoverage = 1
+	}
+	if cfg.MaxClauses <= 0 {
+		cfg.MaxClauses = DefaultConfig().MaxClauses
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = DefaultConfig().Threads
+	}
+	if cfg.MaxNegativeFraction <= 0 {
+		cfg.MaxNegativeFraction = DefaultConfig().MaxNegativeFraction
+	}
+	return &Learner{cfg: cfg}
+}
+
+// Config returns the learner configuration.
+func (l *Learner) Config() Config { return l.cfg }
+
+// Learn runs the covering algorithm and returns the learned definition.
+func (l *Learner) Learn(p Problem) (*logic.Definition, *Report, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	report := &Report{}
+
+	builder := bottomclause.NewBuilder(p.Instance, p.Target, p.MDs, p.CFDs, l.cfg.BottomClause)
+	eval := coverage.NewEvaluator(coverage.Options{
+		Subsumption: l.cfg.Subsumption,
+		Repair:      l.cfg.Repair,
+		Threads:     l.cfg.Threads,
+	})
+	rng := rand.New(rand.NewSource(l.cfg.Seed))
+
+	// Precompute ground bottom clauses for every training example and
+	// prepare them for repeated coverage tests (Section 4.3).
+	bcStart := time.Now()
+	posGround, err := l.groundAll(builder, p.Pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	negGround, err := l.groundAll(builder, p.Neg)
+	if err != nil {
+		return nil, nil, err
+	}
+	posEx := eval.NewExamples(posGround)
+	negEx := eval.NewExamples(negGround)
+	report.BottomClauseTime = time.Since(bcStart)
+
+	def := &logic.Definition{Target: p.Target.Name}
+	uncovered := make([]int, len(p.Pos))
+	for i := range uncovered {
+		uncovered[i] = i
+	}
+
+	for len(uncovered) > 0 && def.Len() < l.cfg.MaxClauses {
+		// Pick the seed: the first uncovered positive example (deterministic
+		// given the example order and the seed-driven shuffles below).
+		seedIdx := uncovered[0]
+		report.SeedsTried++
+
+		bottom, err := builder.BottomClause(p.Pos[seedIdx])
+		if err != nil {
+			return nil, nil, err
+		}
+		current := bottom
+		// The bottom clause covers (at least) its seed and no negatives by
+		// construction; scoring it in full would be wasted work.
+		currentScore := coverage.Score{PositivesCovered: 1}
+		report.ClausesConsidered++
+
+		// During the search, score candidates against a bounded sample of
+		// negative examples; the acceptance test below uses all of them.
+		searchNeg := negEx
+		if l.cfg.NegativeSearchSample > 0 && len(searchNeg) > l.cfg.NegativeSearchSample {
+			searchNeg = searchNeg[:l.cfg.NegativeSearchSample]
+		}
+
+		// Hill-climb: in each step, generalize the current clause toward a
+		// sample of uncovered positive examples and keep the best-scoring
+		// candidate, until the score stops improving (Section 4.2).
+		for {
+			sample := l.sampleUncovered(rng, uncovered, seedIdx)
+			if len(sample) == 0 {
+				break
+			}
+			best := current
+			bestScore := currentScore
+			improved := false
+			for _, ei := range sample {
+				// Generalize against the prepared example so the blocking-
+				// literal scan reuses its precompiled ground clause.
+				ex := posEx[ei]
+				genEx := generalize.New(func(cand, _ logic.Clause) bool {
+					return eval.CoversPositiveExample(cand, ex)
+				})
+				cand, ok := genEx.Generalize(current, posGround[ei])
+				if !ok {
+					continue
+				}
+				report.ClausesConsidered++
+				score := l.scoreOnUncovered(eval, cand, posEx, uncovered, searchNeg)
+				if score.Value() > bestScore.Value() {
+					best, bestScore, improved = cand, score, true
+				}
+			}
+			if !improved {
+				break
+			}
+			current, currentScore = best, bestScore
+		}
+
+		// Acceptance test over the full training set.
+		full := eval.ScoreClauseExamples(current, posEx, negEx)
+		accept := full.PositivesCovered >= l.cfg.MinPositiveCoverage &&
+			float64(full.NegativesCovered) <= l.cfg.MaxNegativeFraction*float64(full.PositivesCovered+full.NegativesCovered)
+		if accept {
+			def.Add(current, logic.ClauseStats{
+				PositivesCovered: full.PositivesCovered,
+				NegativesCovered: full.NegativesCovered,
+				Score:            full.PositivesCovered - full.NegativesCovered,
+			})
+			covered := eval.CoveredPositiveExamples(current, posEx)
+			uncovered = subtract(uncovered, covered)
+			// The seed must leave the pool even if the accepted clause
+			// somehow fails to cover it (conservative coverage testing),
+			// otherwise the loop would not terminate.
+			uncovered = subtract(uncovered, []int{seedIdx})
+		} else {
+			uncovered = subtract(uncovered, []int{seedIdx})
+		}
+	}
+
+	report.UncoveredPositives = len(uncovered)
+	report.Duration = time.Since(start)
+	return def, report, nil
+}
+
+// groundAll builds ground bottom clauses for a slice of examples.
+func (l *Learner) groundAll(builder *bottomclause.Builder, examples []relation.Tuple) ([]logic.Clause, error) {
+	out := make([]logic.Clause, len(examples))
+	for i, e := range examples {
+		g, err := builder.GroundBottomClause(e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = g
+	}
+	return out, nil
+}
+
+// scoreOnUncovered scores a clause counting only the still-uncovered
+// positive examples (the covering algorithm's progress measure) and all
+// negative examples.
+func (l *Learner) scoreOnUncovered(eval *coverage.Evaluator, c logic.Clause, posEx []*coverage.Example, uncovered []int, negEx []*coverage.Example) coverage.Score {
+	pool := make([]*coverage.Example, len(uncovered))
+	for i, idx := range uncovered {
+		pool[i] = posEx[idx]
+	}
+	return coverage.Score{
+		PositivesCovered: eval.CountPositiveExamples(c, pool),
+		NegativesCovered: eval.CountNegativeExamples(c, negEx),
+	}
+}
+
+// sampleUncovered picks up to GeneralizationSample uncovered positive
+// example indices, excluding the seed.
+func (l *Learner) sampleUncovered(rng *rand.Rand, uncovered []int, seed int) []int {
+	var pool []int
+	for _, i := range uncovered {
+		if i != seed {
+			pool = append(pool, i)
+		}
+	}
+	if len(pool) <= l.cfg.GeneralizationSample {
+		return pool
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	out := append([]int(nil), pool[:l.cfg.GeneralizationSample]...)
+	sort.Ints(out)
+	return out
+}
+
+// subtract removes the members of b from a, preserving order.
+func subtract(a, b []int) []int {
+	drop := make(map[int]bool, len(b))
+	for _, x := range b {
+		drop[x] = true
+	}
+	out := a[:0]
+	for _, x := range a {
+		if !drop[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

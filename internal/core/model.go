@@ -1,0 +1,65 @@
+package core
+
+import (
+	"dlearn/internal/bottomclause"
+	"dlearn/internal/coverage"
+	"dlearn/internal/logic"
+	"dlearn/internal/relation"
+)
+
+// Model packages a learned definition with everything needed to classify new
+// examples: the bottom-clause builder over the (dirty) database and the
+// coverage evaluator. A test example is predicted positive when some clause
+// of the definition covers it under Definition 3.4.
+type Model struct {
+	Definition *logic.Definition
+	builder    *bottomclause.Builder
+	eval       *coverage.Evaluator
+}
+
+// NewModel builds a model for a learned definition over the given problem
+// database using the learner's configuration.
+func NewModel(def *logic.Definition, p Problem, cfg Config) *Model {
+	return &Model{
+		Definition: def,
+		builder:    bottomclause.NewBuilder(p.Instance, p.Target, p.MDs, p.CFDs, cfg.BottomClause),
+		eval: coverage.NewEvaluator(coverage.Options{
+			Subsumption: cfg.Subsumption,
+			Repair:      cfg.Repair,
+			Threads:     cfg.Threads,
+		}),
+	}
+}
+
+// Predict reports whether the model classifies the example as positive.
+func (m *Model) Predict(example relation.Tuple) (bool, error) {
+	g, err := m.builder.GroundBottomClause(example)
+	if err != nil {
+		return false, err
+	}
+	return m.eval.DefinitionCovers(m.Definition, g), nil
+}
+
+// PredictAll classifies a batch of examples.
+func (m *Model) PredictAll(examples []relation.Tuple) ([]bool, error) {
+	out := make([]bool, len(examples))
+	for i, e := range examples {
+		p, err := m.Predict(e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// LearnModel is a convenience wrapper: learn a definition for the problem
+// and wrap it in a Model for prediction.
+func LearnModel(p Problem, cfg Config) (*Model, *Report, error) {
+	learner := NewLearner(cfg)
+	def, report, err := learner.Learn(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewModel(def, p, learner.Config()), report, nil
+}

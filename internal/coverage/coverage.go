@@ -1,0 +1,320 @@
+// Package coverage implements DLearn's coverage semantics: whether a clause
+// (possibly containing repair literals) covers a positive example under
+// Definition 3.4 or a negative example under Definition 3.6, evaluated
+// efficiently against ground bottom clauses with the procedure of
+// Section 4.3. Batch scoring over many examples runs on a worker pool, which
+// is the parallel coverage testing the paper's experiments enable with 16
+// threads.
+package coverage
+
+import (
+	"runtime"
+	"sync"
+
+	"dlearn/internal/logic"
+	"dlearn/internal/repair"
+	"dlearn/internal/subsumption"
+)
+
+// Options configures an Evaluator.
+type Options struct {
+	// Subsumption bounds each θ-subsumption search.
+	Subsumption subsumption.Options
+	// Repair bounds repaired-clause expansion.
+	Repair repair.Options
+	// Threads is the worker-pool size for batch scoring. Zero means
+	// runtime.NumCPU().
+	Threads int
+}
+
+// Evaluator answers coverage questions. It is safe for concurrent use.
+// Repair-literal expansions and CFD-stripped projections of clauses are
+// memoized (keyed by the clause's canonical key), because the same ground
+// bottom clauses are tested against thousands of candidate clauses during a
+// learning run.
+type Evaluator struct {
+	checker *subsumption.Checker
+	repOpts repair.Options
+	threads int
+
+	mu         sync.Mutex
+	repCache   map[string][]logic.Clause
+	cfdCache   map[string][]logic.Clause
+	stripCache map[string]logic.Clause
+}
+
+// NewEvaluator builds an evaluator.
+func NewEvaluator(opts Options) *Evaluator {
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = runtime.NumCPU()
+	}
+	return &Evaluator{
+		checker:    subsumption.New(opts.Subsumption),
+		repOpts:    opts.Repair,
+		threads:    threads,
+		repCache:   make(map[string][]logic.Clause),
+		cfdCache:   make(map[string][]logic.Clause),
+		stripCache: make(map[string]logic.Clause),
+	}
+}
+
+// Threads returns the worker-pool size used for batch scoring.
+func (e *Evaluator) Threads() int { return e.threads }
+
+// CoversPositive reports whether clause c covers the positive example whose
+// ground bottom clause is ge, following Section 4.3:
+//
+//  1. If c θ-subsumes ge (Definition 4.4), it covers the example
+//     (Theorem 4.6).
+//  2. Otherwise the MD-only parts c_md and ge_md are compared; if c_md does
+//     not subsume ge_md the example is not covered (Theorem 4.9 makes this
+//     exact for MD-only repair literals).
+//  3. Otherwise the CFD repair literals of both clauses are applied and the
+//     example is covered iff every resulting clause of c subsumes at least
+//     one resulting clause of ge.
+func (e *Evaluator) CoversPositive(c, ge logic.Clause) bool {
+	if ok, _ := e.checker.Subsumes(c, ge); ok {
+		return true
+	}
+	if !clauseHasCFDRepairs(c) && !clauseHasCFDRepairs(ge) {
+		// MD-only clauses: θ-subsumption is necessary as well as sufficient
+		// (Theorem 4.9), so the failed check is conclusive.
+		return false
+	}
+	cmd := e.stripCached(c)
+	gmd := e.stripCached(ge)
+	if ok, _ := e.checker.Subsumes(cmd, gmd); !ok {
+		return false
+	}
+	cExp := e.expandCFD(c)
+	geExp := e.expandCFD(ge)
+	if len(cExp) == 0 || len(geExp) == 0 {
+		return false
+	}
+	for _, ce := range cExp {
+		matched := false
+		for _, g := range geExp {
+			if ok, _ := e.checker.Subsumes(ce, g); ok {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
+
+// CoversNegative reports whether clause c covers the negative example whose
+// ground bottom clause is ge, following Definition 3.6 and Proposition 4.10:
+// c covers the example iff some repaired clause of c θ-subsumes some
+// repaired clause of ge.
+func (e *Evaluator) CoversNegative(c, ge logic.Clause) bool {
+	cReps := e.repairedCached(c)
+	geReps := e.repairedCached(ge)
+	for _, cr := range cReps {
+		for _, gr := range geReps {
+			if ok, _ := e.checker.SubsumesPlain(cr, gr); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// expandCFD applies only the CFD repair groups of a clause, leaving MD
+// repair literals in place. Results are memoized.
+func (e *Evaluator) expandCFD(c logic.Clause) []logic.Clause {
+	key := c.Key()
+	e.mu.Lock()
+	if cached, ok := e.cfdCache[key]; ok {
+		e.mu.Unlock()
+		return cached
+	}
+	e.mu.Unlock()
+	opts := e.repOpts
+	opts.Origin = logic.OriginCFD
+	out := repair.RepairedClauses(c, opts)
+	e.mu.Lock()
+	e.cfdCache[key] = out
+	e.mu.Unlock()
+	return out
+}
+
+// repairedCached memoizes full repaired-clause expansion.
+func (e *Evaluator) repairedCached(c logic.Clause) []logic.Clause {
+	key := c.Key()
+	e.mu.Lock()
+	if cached, ok := e.repCache[key]; ok {
+		e.mu.Unlock()
+		return cached
+	}
+	e.mu.Unlock()
+	out := repair.RepairedClauses(c, e.repOpts)
+	e.mu.Lock()
+	e.repCache[key] = out
+	e.mu.Unlock()
+	return out
+}
+
+// stripCached memoizes StripCFDConnected.
+func (e *Evaluator) stripCached(c logic.Clause) logic.Clause {
+	key := c.Key()
+	e.mu.Lock()
+	if cached, ok := e.stripCache[key]; ok {
+		e.mu.Unlock()
+		return cached
+	}
+	e.mu.Unlock()
+	out := StripCFDConnected(c)
+	e.mu.Lock()
+	e.stripCache[key] = out
+	e.mu.Unlock()
+	return out
+}
+
+// clauseHasCFDRepairs reports whether any repair literal of the clause comes
+// from a CFD.
+func clauseHasCFDRepairs(c logic.Clause) bool {
+	for _, l := range c.Body {
+		if l.IsRepair() && l.Origin == logic.OriginCFD {
+			return true
+		}
+	}
+	return false
+}
+
+// StripCFDConnected returns the clause obtained by removing every CFD repair
+// literal and every body literal connected to one (the clause C_md /
+// G_md^e of Section 4.3), followed by the standard clean-up of dangling
+// auxiliary literals.
+func StripCFDConnected(c logic.Clause) logic.Clause {
+	dropLit := make(map[int]bool)
+	for i, l := range c.Body {
+		if l.IsRepair() && l.Origin == logic.OriginCFD {
+			dropLit[i] = true
+		}
+	}
+	for i, l := range c.Body {
+		if !l.IsRelation() {
+			continue
+		}
+		for _, ri := range c.ConnectedRepairLiterals(i) {
+			if c.Body[ri].Origin == logic.OriginCFD {
+				dropLit[i] = true
+				break
+			}
+		}
+	}
+	out := logic.Clause{Head: c.Head.Clone()}
+	for i, l := range c.Body {
+		if dropLit[i] {
+			continue
+		}
+		out.Body = append(out.Body, l.Clone())
+	}
+	return out.DropDanglingAuxiliaries()
+}
+
+// Score is the coverage statistics of a clause over a labelled example set.
+type Score struct {
+	PositivesCovered int
+	NegativesCovered int
+}
+
+// Value is the search score used by the learner: positives minus negatives
+// covered (Section 4.2).
+func (s Score) Value() int { return s.PositivesCovered - s.NegativesCovered }
+
+// CountPositives returns how many of the ground bottom clauses are covered
+// as positive examples, evaluating in parallel.
+func (e *Evaluator) CountPositives(c logic.Clause, grounds []logic.Clause) int {
+	return e.countParallel(grounds, func(g logic.Clause) bool { return e.CoversPositive(c, g) })
+}
+
+// CountNegatives returns how many of the ground bottom clauses are covered
+// as negative examples, evaluating in parallel.
+func (e *Evaluator) CountNegatives(c logic.Clause, grounds []logic.Clause) int {
+	return e.countParallel(grounds, func(g logic.Clause) bool { return e.CoversNegative(c, g) })
+}
+
+// ScoreClause computes the full score of a clause against positive and
+// negative ground bottom clauses.
+func (e *Evaluator) ScoreClause(c logic.Clause, pos, neg []logic.Clause) Score {
+	return Score{
+		PositivesCovered: e.CountPositives(c, pos),
+		NegativesCovered: e.CountNegatives(c, neg),
+	}
+}
+
+// CoveredPositives returns the indices of the positive ground bottom clauses
+// covered by the clause.
+func (e *Evaluator) CoveredPositives(c logic.Clause, grounds []logic.Clause) []int {
+	mask := e.maskParallel(grounds, func(g logic.Clause) bool { return e.CoversPositive(c, g) })
+	var out []int
+	for i, b := range mask {
+		if b {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (e *Evaluator) countParallel(grounds []logic.Clause, pred func(logic.Clause) bool) int {
+	mask := e.maskParallel(grounds, pred)
+	n := 0
+	for _, b := range mask {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Evaluator) maskParallel(grounds []logic.Clause, pred func(logic.Clause) bool) []bool {
+	mask := make([]bool, len(grounds))
+	if len(grounds) == 0 {
+		return mask
+	}
+	workers := e.threads
+	if workers > len(grounds) {
+		workers = len(grounds)
+	}
+	if workers <= 1 {
+		for i, g := range grounds {
+			mask[i] = pred(g)
+		}
+		return mask
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(grounds))
+	for i := range grounds {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				mask[i] = pred(grounds[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return mask
+}
+
+// DefinitionCovers reports whether any clause of the definition covers the
+// (positive-style) example with ground bottom clause ge. It is the
+// prediction rule used when evaluating a learned definition on test data.
+func (e *Evaluator) DefinitionCovers(d *logic.Definition, ge logic.Clause) bool {
+	for _, c := range d.Clauses {
+		if e.CoversPositive(c, ge) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,241 @@
+package coverage
+
+import (
+	"testing"
+
+	"dlearn/internal/bottomclause"
+	"dlearn/internal/constraints"
+	"dlearn/internal/logic"
+	"dlearn/internal/relation"
+)
+
+// movieDB builds a small IMDB+BOM-style database with heterogeneous titles,
+// a CFD-violating locale relation, and a highGrossing target.
+func movieDB() (*relation.Instance, *relation.Relation, []constraints.MD, []constraints.CFD) {
+	s := relation.NewSchema()
+	s.MustAdd(relation.NewRelation("movies",
+		relation.Attr("id", "imdb_id"), relation.Attr("title", "imdb_title"), relation.Attr("year", "year")))
+	s.MustAdd(relation.NewRelation("mov2genres",
+		relation.Attr("id", "imdb_id"), relation.Attr("genre", "genre")))
+	s.MustAdd(relation.NewRelation("mov2locale",
+		relation.Attr("title", "imdb_title"), relation.Attr("language", "language"), relation.Attr("country", "country")))
+
+	in := relation.NewInstance(s)
+	in.MustInsert("movies", "m1", "Superbad (2007)", "2007")
+	in.MustInsert("movies", "m2", "Zoolander (2001)", "2001")
+	in.MustInsert("movies", "m3", "Orphanage (2007)", "2007")
+	in.MustInsert("mov2genres", "m1", "comedy")
+	in.MustInsert("mov2genres", "m2", "comedy")
+	in.MustInsert("mov2genres", "m3", "drama")
+	in.MustInsert("mov2locale", "Superbad (2007)", "English", "USA")
+	in.MustInsert("mov2locale", "Superbad (2007)", "English", "Ireland")
+
+	target := relation.NewRelation("highGrossing", relation.Attr("title", "bom_title"))
+	md := constraints.SimpleMD("md_title", "highGrossing", "title", "movies", "title")
+	cfd := constraints.NewCFD("cfd_locale", "mov2locale", []string{"title", "language"}, "country",
+		map[string]string{"language": "English"})
+	return in, target, []constraints.MD{md}, []constraints.CFD{cfd}
+}
+
+func builderFor(useCFDs bool) *bottomclause.Builder {
+	in, target, mds, cfds := movieDB()
+	cfg := bottomclause.DefaultConfig()
+	cfg.UseCFDs = useCFDs
+	cfg.SampleSize = 20
+	return bottomclause.NewBuilder(in, target, mds, cfds, cfg)
+}
+
+// comedyClause is a learned-style clause: high grossing movies are comedies,
+// joining the BOM title to the IMDB title through the MD repair literals.
+func comedyClause() logic.Clause {
+	x, tt, y, z := logic.Var("x"), logic.Var("t"), logic.Var("y"), logic.Var("z")
+	vx, vt := logic.Var("vx"), logic.Var("vt")
+	cond := logic.Condition{Op: logic.CondSim, L: x, R: tt}
+	return logic.NewClause(
+		logic.Rel("highGrossing", x),
+		logic.Rel("movies", y, tt, z),
+		logic.Rel("mov2genres", y, logic.Const("comedy")),
+		logic.Sim(x, tt),
+		logic.RepairInGroup("md_title", "md_title#c", logic.OriginMD, x, vx, cond),
+		logic.RepairInGroup("md_title", "md_title#c", logic.OriginMD, tt, vt, cond),
+		logic.Eq(vx, vt),
+	)
+}
+
+func dramaClause() logic.Clause {
+	c := comedyClause()
+	for i, l := range c.Body {
+		if l.Pred == "mov2genres" {
+			c.Body[i].Args[1] = logic.Const("drama")
+		}
+	}
+	return c
+}
+
+func eval() *Evaluator { return NewEvaluator(Options{Threads: 2}) }
+
+func TestCoversPositiveMDOnly(t *testing.T) {
+	b := builderFor(false)
+	e := eval()
+	gSuperbad, err := b.GroundBottomClause(relation.NewTuple("highGrossing", "Superbad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gOrphanage, err := b.GroundBottomClause(relation.NewTuple("highGrossing", "Orphanage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.CoversPositive(comedyClause(), gSuperbad) {
+		t.Error("comedy clause should cover the Superbad example via the MD match")
+	}
+	if e.CoversPositive(comedyClause(), gOrphanage) {
+		t.Error("comedy clause should not cover the drama movie Orphanage")
+	}
+	if !e.CoversPositive(dramaClause(), gOrphanage) {
+		t.Error("drama clause should cover the Orphanage example")
+	}
+}
+
+func TestCoversPositiveWithCFDRepairs(t *testing.T) {
+	b := builderFor(true)
+	e := eval()
+	g, err := b.GroundBottomClause(relation.NewTuple("highGrossing", "Superbad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full bottom clause of the same example must cover it
+	// (Proposition 4.3) even when CFD repair literals are present.
+	c, err := b.BottomClause(relation.NewTuple("highGrossing", "Superbad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.CoversPositive(c, g) {
+		t.Error("bottom clause with CFD repair literals should cover its own example")
+	}
+	// A plain comedy clause (no CFD literals) still covers it.
+	if !e.CoversPositive(comedyClause(), g) {
+		t.Error("comedy clause should cover the Superbad example with CFD-annotated ground clause")
+	}
+}
+
+func TestCoversNegative(t *testing.T) {
+	b := builderFor(false)
+	e := eval()
+	gZoolander, err := b.GroundBottomClause(relation.NewTuple("highGrossing", "Zoolander"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gOrphanage, err := b.GroundBottomClause(relation.NewTuple("highGrossing", "Orphanage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zoolander is a comedy, so the comedy clause covers it as a negative
+	// example (some repair supports it); Orphanage is not.
+	if !e.CoversNegative(comedyClause(), gZoolander) {
+		t.Error("comedy clause should cover the Zoolander negative example")
+	}
+	if e.CoversNegative(comedyClause(), gOrphanage) {
+		t.Error("comedy clause should not cover the Orphanage negative example")
+	}
+}
+
+func TestStripCFDConnected(t *testing.T) {
+	b := builderFor(true)
+	c, err := b.BottomClause(relation.NewTuple("highGrossing", "Superbad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := StripCFDConnected(c)
+	for _, l := range stripped.Body {
+		if l.IsRepair() && l.Origin == logic.OriginCFD {
+			t.Fatal("StripCFDConnected left a CFD repair literal")
+		}
+		if l.Pred == "mov2locale" {
+			t.Fatal("StripCFDConnected left a literal connected to a CFD repair literal")
+		}
+	}
+	// The MD machinery must survive.
+	var mdRepairs int
+	for _, l := range stripped.Body {
+		if l.IsRepair() && l.Origin == logic.OriginMD {
+			mdRepairs++
+		}
+	}
+	if mdRepairs == 0 {
+		t.Fatal("StripCFDConnected removed MD repair literals")
+	}
+}
+
+func TestScoreAndCounts(t *testing.T) {
+	b := builderFor(false)
+	e := eval()
+	var pos, neg []logic.Clause
+	for _, title := range []string{"Superbad", "Zoolander"} {
+		g, err := b.GroundBottomClause(relation.NewTuple("highGrossing", title))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos = append(pos, g)
+	}
+	gOrphanage, err := b.GroundBottomClause(relation.NewTuple("highGrossing", "Orphanage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg = append(neg, gOrphanage)
+
+	score := e.ScoreClause(comedyClause(), pos, neg)
+	if score.PositivesCovered != 2 || score.NegativesCovered != 0 {
+		t.Errorf("score = %+v, want 2 positives and 0 negatives", score)
+	}
+	if score.Value() != 2 {
+		t.Errorf("score value = %d", score.Value())
+	}
+	covered := e.CoveredPositives(comedyClause(), pos)
+	if len(covered) != 2 {
+		t.Errorf("CoveredPositives = %v", covered)
+	}
+	if e.CountNegatives(dramaClause(), neg) != 1 {
+		t.Error("drama clause should cover the Orphanage negative example")
+	}
+}
+
+func TestDefinitionCovers(t *testing.T) {
+	b := builderFor(false)
+	e := eval()
+	def := &logic.Definition{Target: "highGrossing"}
+	def.Add(comedyClause(), logic.ClauseStats{})
+	gSuperbad, err := b.GroundBottomClause(relation.NewTuple("highGrossing", "Superbad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gOrphanage, err := b.GroundBottomClause(relation.NewTuple("highGrossing", "Orphanage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.DefinitionCovers(def, gSuperbad) {
+		t.Error("definition should cover Superbad")
+	}
+	if e.DefinitionCovers(def, gOrphanage) {
+		t.Error("definition should not cover Orphanage")
+	}
+	def.Add(dramaClause(), logic.ClauseStats{})
+	if !e.DefinitionCovers(def, gOrphanage) {
+		t.Error("after adding the drama clause the definition should cover Orphanage")
+	}
+}
+
+func TestEvaluatorThreadsDefault(t *testing.T) {
+	if NewEvaluator(Options{}).Threads() <= 0 {
+		t.Fatal("default thread count must be positive")
+	}
+	if NewEvaluator(Options{Threads: 3}).Threads() != 3 {
+		t.Fatal("explicit thread count not honoured")
+	}
+}
+
+func TestEmptyGroundSets(t *testing.T) {
+	e := eval()
+	if e.CountPositives(comedyClause(), nil) != 0 || e.CountNegatives(comedyClause(), nil) != 0 {
+		t.Fatal("empty ground sets must count zero")
+	}
+}

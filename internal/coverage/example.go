@@ -1,0 +1,215 @@
+package coverage
+
+import (
+	"dlearn/internal/logic"
+	"dlearn/internal/repair"
+	"dlearn/internal/subsumption"
+)
+
+// Example is a training or test example prepared for repeated coverage
+// testing: its ground bottom clause with the subsumed side precompiled, its
+// CFD-only repair expansion (Section 4.3), its full repaired-clause
+// expansion (used for negative coverage, Definition 3.6), and the MD-only
+// projection G_md^e. Preparing an example once and probing it with thousands
+// of candidate clauses is what makes the covering search practical.
+type Example struct {
+	// Ground is the ground bottom clause of the example.
+	Ground logic.Clause
+
+	hasCFD   bool
+	prep     *subsumption.Prepared
+	stripped *subsumption.Prepared
+	cfdExp   []*subsumption.Prepared
+	repaired []*subsumption.Prepared
+}
+
+// NewExample prepares a ground bottom clause for repeated coverage tests.
+func (e *Evaluator) NewExample(ground logic.Clause) *Example {
+	ex := &Example{
+		Ground: ground,
+		hasCFD: clauseHasCFDRepairs(ground),
+		prep:   e.checker.Prepare(ground),
+	}
+	ex.stripped = e.checker.Prepare(StripCFDConnected(ground))
+	cfdOpts := e.repOpts
+	cfdOpts.Origin = logic.OriginCFD
+	for _, c := range repair.RepairedClauses(ground, cfdOpts) {
+		ex.cfdExp = append(ex.cfdExp, e.checker.Prepare(c))
+	}
+	for _, c := range repair.RepairedClauses(ground, e.repOpts) {
+		ex.repaired = append(ex.repaired, e.checker.Prepare(c))
+	}
+	return ex
+}
+
+// NewExamples prepares a batch of ground bottom clauses in parallel.
+func (e *Evaluator) NewExamples(grounds []logic.Clause) []*Example {
+	out := make([]*Example, len(grounds))
+	if len(grounds) == 0 {
+		return out
+	}
+	jobs := make(chan int, len(grounds))
+	for i := range grounds {
+		jobs <- i
+	}
+	close(jobs)
+	done := make(chan struct{})
+	workers := e.threads
+	if workers > len(grounds) {
+		workers = len(grounds)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				out[i] = e.NewExample(grounds[i])
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return out
+}
+
+// CoversPositiveExample is CoversPositive against a prepared example.
+func (e *Evaluator) CoversPositiveExample(c logic.Clause, ex *Example) bool {
+	if ok, _ := ex.prep.Subsumes(c); ok {
+		return true
+	}
+	if !clauseHasCFDRepairs(c) && !ex.hasCFD {
+		return false
+	}
+	cmd := e.stripCached(c)
+	if ok, _ := ex.stripped.Subsumes(cmd); !ok {
+		return false
+	}
+	cExp := e.expandCFD(c)
+	if len(cExp) == 0 || len(ex.cfdExp) == 0 {
+		return false
+	}
+	for _, ce := range cExp {
+		matched := false
+		for _, g := range ex.cfdExp {
+			if ok, _ := g.Subsumes(ce); ok {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
+
+// CoversNegativeExample is CoversNegative against a prepared example.
+func (e *Evaluator) CoversNegativeExample(c logic.Clause, ex *Example) bool {
+	cReps := e.repairedCached(c)
+	for _, cr := range cReps {
+		for _, gr := range ex.repaired {
+			if ok, _ := gr.SubsumesPlain(cr); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CountPositiveExamples counts the prepared examples covered as positives,
+// in parallel.
+func (e *Evaluator) CountPositiveExamples(c logic.Clause, exs []*Example) int {
+	return e.countParallelExamples(exs, func(ex *Example) bool { return e.CoversPositiveExample(c, ex) })
+}
+
+// CountNegativeExamples counts the prepared examples covered as negatives,
+// in parallel.
+func (e *Evaluator) CountNegativeExamples(c logic.Clause, exs []*Example) int {
+	return e.countParallelExamples(exs, func(ex *Example) bool { return e.CoversNegativeExample(c, ex) })
+}
+
+// ScoreClauseExamples computes a clause's score over prepared examples.
+func (e *Evaluator) ScoreClauseExamples(c logic.Clause, pos, neg []*Example) Score {
+	return Score{
+		PositivesCovered: e.CountPositiveExamples(c, pos),
+		NegativesCovered: e.CountNegativeExamples(c, neg),
+	}
+}
+
+// CoveredPositiveExamples returns the indices of the prepared positive
+// examples covered by the clause.
+func (e *Evaluator) CoveredPositiveExamples(c logic.Clause, exs []*Example) []int {
+	mask := e.maskParallelExamples(exs, func(ex *Example) bool { return e.CoversPositiveExample(c, ex) })
+	var out []int
+	for i, b := range mask {
+		if b {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DefinitionCoversExample reports whether any clause of the definition
+// covers the prepared example.
+func (e *Evaluator) DefinitionCoversExample(d *logic.Definition, ex *Example) bool {
+	for _, c := range d.Clauses {
+		if e.CoversPositiveExample(c, ex) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Evaluator) countParallelExamples(exs []*Example, pred func(*Example) bool) int {
+	mask := e.maskParallelExamples(exs, pred)
+	n := 0
+	for _, b := range mask {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Evaluator) maskParallelExamples(exs []*Example, pred func(*Example) bool) []bool {
+	grounds := make([]logic.Clause, len(exs))
+	for i, ex := range exs {
+		grounds[i] = ex.Ground
+	}
+	// Reuse the generic worker pool, dispatching on index.
+	mask := make([]bool, len(exs))
+	if len(exs) == 0 {
+		return mask
+	}
+	workers := e.threads
+	if workers > len(exs) {
+		workers = len(exs)
+	}
+	if workers <= 1 {
+		for i, ex := range exs {
+			mask[i] = pred(ex)
+		}
+		return mask
+	}
+	jobs := make(chan int, len(exs))
+	for i := range exs {
+		jobs <- i
+	}
+	close(jobs)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				mask[i] = pred(exs[i])
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return mask
+}

@@ -1,0 +1,174 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dlearn/internal/constraints"
+	"dlearn/internal/core"
+	"dlearn/internal/relation"
+)
+
+var (
+	paperTopics = []string{
+		"Query Optimization", "Entity Resolution", "Data Cleaning", "Schema Matching",
+		"Stream Processing", "Approximate Joins", "Provenance Tracking", "Index Structures",
+		"Transaction Recovery", "Graph Analytics", "Federated Learning", "Crowdsourced Labeling",
+	}
+	paperQualifiers = []string{
+		"Scalable", "Adaptive", "Incremental", "Distributed", "Robust", "Interactive",
+		"Declarative", "Probabilistic", "Efficient", "Principled",
+	}
+	venues = []string{"SIGMOD", "VLDB", "ICDE", "EDBT", "CIDR", "PODS"}
+)
+
+// CitationsConfig configures the DBLP+Google Scholar generator.
+type CitationsConfig struct {
+	// Papers is the number of distinct papers shared by the two sources.
+	Papers int
+	// ViolationRate is p, the fraction of papers whose tuples violate a CFD.
+	ViolationRate float64
+	// ExactTitleRate is the fraction of papers whose titles match exactly.
+	ExactTitleRate float64
+	// Positives / Negatives are the numbers of labelled examples to emit.
+	Positives, Negatives int
+	// Seed drives all random choices.
+	Seed int64
+}
+
+// DefaultCitationsConfig matches the paper's example counts (500 / 1000) at
+// a laptop-friendly scale.
+func DefaultCitationsConfig() CitationsConfig {
+	return CitationsConfig{
+		Papers:         600,
+		ViolationRate:  0,
+		ExactTitleRate: 0.3,
+		Positives:      500,
+		Negatives:      1000,
+		Seed:           13,
+	}
+}
+
+// Citations generates the DBLP+Google Scholar dataset: the target relation
+// gsPaperYear(gsId, year) pairs a Google Scholar paper id with its year of
+// publication as recorded in DBLP. Google Scholar itself lacks (or
+// misstates) the year, so the concept requires joining the two sources
+// through the title and venue MDs.
+func Citations(cfg CitationsConfig) (*Dataset, error) {
+	if cfg.Papers <= 0 {
+		return nil, fmt.Errorf("datagen: Citations requires a positive paper count")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	inj := violationInjector{rng: rng, rate: cfg.ViolationRate}
+
+	s := relation.NewSchema()
+	s.MustAdd(relation.NewRelation("dblp_papers",
+		relation.Attr("did", "dblp_id"), relation.Attr("title", "dblp_title"),
+		relation.Attr("venue", "dblp_venue"), relation.Attr("year", "year")))
+	s.MustAdd(relation.NewRelation("dblp_authors",
+		relation.Attr("did", "dblp_id"), relation.Attr("author", "dblp_person")))
+	s.MustAdd(relation.NewRelation("gs_papers",
+		relation.Attr("gsId", "gs_id"), relation.Attr("title", "gs_title"), relation.Attr("venue", "gs_venue")))
+	s.MustAdd(relation.NewRelation("gs_authors",
+		relation.Attr("gsId", "gs_id"), relation.Attr("author", "gs_person")))
+
+	in := relation.NewInstance(s)
+	truth := make(map[string]bool)
+	type labelled struct{ gsID, year string }
+	var positives []labelled
+	var negatives []labelled
+
+	for i := 0; i < cfg.Papers; i++ {
+		did := fmt.Sprintf("conf/x/%05d", i)
+		gsID := fmt.Sprintf("gs%06d", i)
+		year := 1995 + rng.Intn(28)
+		venue := pick(rng, venues)
+		title := fmt.Sprintf("%s %s %d", pick(rng, paperQualifiers), pick(rng, paperTopics), i)
+		gsTitle := title
+		gsVenue := venue
+		if rng.Float64() >= cfg.ExactTitleRate {
+			switch rng.Intn(3) {
+			case 0:
+				gsTitle = fmt.Sprintf("%s.", title)
+			case 1:
+				gsTitle = fmt.Sprintf("%s (extended abstract)", title)
+			default:
+				gsTitle = fmt.Sprintf("%s [%s %d]", title, venue, year)
+			}
+			gsVenue = fmt.Sprintf("Proc. %s %d", venue, year)
+		}
+		author := personName(rng)
+
+		in.MustInsert("dblp_papers", did, title, venue, fmt.Sprint(year))
+		in.MustInsert("dblp_authors", did, author)
+		in.MustInsert("gs_papers", gsID, gsTitle, gsVenue)
+		in.MustInsert("gs_authors", gsID, flipName(rng, author, 0.6))
+
+		if inj.shouldInject() {
+			switch rng.Intn(2) {
+			case 0:
+				// Duplicate Google Scholar record with a perturbed title:
+				// violates "gsId determines title".
+				in.MustInsert("gs_papers", gsID, gsTitle+" [duplicate]", gsVenue)
+			default:
+				// Conflicting DBLP year: violates "did determines year".
+				in.MustInsert("dblp_papers", did, title, venue, fmt.Sprint(year+1))
+			}
+		}
+
+		// Positive example: the correct (gsId, year) pair. Negative example:
+		// the same gsId paired with a wrong year.
+		positives = append(positives, labelled{gsID: gsID, year: fmt.Sprint(year)})
+		wrong := year + 1 + rng.Intn(3)
+		negatives = append(negatives, labelled{gsID: gsID, year: fmt.Sprint(wrong)})
+		if rng.Float64() < 0.5 {
+			negatives = append(negatives, labelled{gsID: gsID, year: fmt.Sprint(year - 1 - rng.Intn(3))})
+		}
+		truth[gsID+"|"+fmt.Sprint(year)] = true
+	}
+
+	target := relation.NewRelation("gsPaperYear",
+		relation.Attr("gsId", "gs_id"), relation.Attr("year", "year"))
+	mds := []constraints.MD{
+		constraints.SimpleMD("md_paper_title", "gs_papers", "title", "dblp_papers", "title"),
+		constraints.SimpleMD("md_paper_venue", "gs_papers", "venue", "dblp_papers", "venue"),
+	}
+	cfds := []constraints.CFD{
+		constraints.FD("cfd_gs_title", "gs_papers", []string{"gsId"}, "title"),
+		constraints.FD("cfd_dblp_year", "dblp_papers", []string{"did"}, "year"),
+	}
+
+	rng.Shuffle(len(positives), func(i, j int) { positives[i], positives[j] = positives[j], positives[i] })
+	rng.Shuffle(len(negatives), func(i, j int) { negatives[i], negatives[j] = negatives[j], negatives[i] })
+	nPos, nNeg := cfg.Positives, cfg.Negatives
+	if nPos <= 0 || nPos > len(positives) {
+		nPos = len(positives)
+	}
+	if nNeg <= 0 || nNeg > len(negatives) {
+		nNeg = len(negatives)
+	}
+	var pos, neg []relation.Tuple
+	for _, l := range positives[:nPos] {
+		pos = append(pos, relation.NewTuple(target.Name, l.gsID, l.year))
+	}
+	for _, l := range negatives[:nNeg] {
+		neg = append(neg, relation.NewTuple(target.Name, l.gsID, l.year))
+	}
+
+	name := "DBLP+Google Scholar"
+	if cfg.ViolationRate > 0 {
+		name = fmt.Sprintf("%s p=%.2f", name, cfg.ViolationRate)
+	}
+	return &Dataset{
+		Name: name,
+		Problem: core.Problem{
+			Instance: in,
+			Target:   target,
+			MDs:      mds,
+			CFDs:     cfds,
+			Pos:      pos,
+			Neg:      neg,
+		},
+		TruePositives: truth,
+	}, nil
+}

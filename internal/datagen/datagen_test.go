@@ -1,0 +1,210 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"dlearn/internal/constraints"
+)
+
+func TestMoviesGeneratorBasics(t *testing.T) {
+	cfg := DefaultMoviesConfig()
+	cfg.Movies = 150
+	cfg.Positives = 20
+	cfg.Negatives = 40
+	ds, err := Movies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Problem.Validate(); err != nil {
+		t.Fatalf("generated problem does not validate: %v", err)
+	}
+	stats := ds.Stats()
+	if stats.Relations != 12 {
+		t.Errorf("IMDB+OMDB should have 12 relations, got %d", stats.Relations)
+	}
+	if stats.Positives != 20 || stats.Negatives != 40 {
+		t.Errorf("example counts wrong: %+v", stats)
+	}
+	if stats.Tuples < 120*10 {
+		t.Errorf("tuple count suspiciously low: %d", stats.Tuples)
+	}
+	if !strings.Contains(ds.Name, "IMDB+OMDB") {
+		t.Errorf("unexpected name %q", ds.Name)
+	}
+	// Every positive example id must be truly positive.
+	for _, e := range ds.Problem.Pos {
+		if !ds.TruePositives[e.Values[0]] {
+			t.Errorf("example %v labelled positive but ground truth disagrees", e)
+		}
+	}
+	for _, e := range ds.Problem.Neg {
+		if ds.TruePositives[e.Values[0]] {
+			t.Errorf("example %v labelled negative but ground truth disagrees", e)
+		}
+	}
+}
+
+func TestMoviesGeneratorMDCount(t *testing.T) {
+	cfg := DefaultMoviesConfig()
+	cfg.Movies = 60
+	cfg.MDCount = 3
+	ds, err := Movies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Problem.MDs) != 3 {
+		t.Errorf("MDCount=3 should emit 3 MDs, got %d", len(ds.Problem.MDs))
+	}
+	cfg.MDCount = 2
+	if _, err := Movies(cfg); err == nil {
+		t.Error("MDCount=2 must be rejected")
+	}
+	cfg.MDCount = 1
+	cfg.Movies = 0
+	if _, err := Movies(cfg); err == nil {
+		t.Error("zero movies must be rejected")
+	}
+}
+
+func TestMoviesGeneratorDeterministic(t *testing.T) {
+	cfg := DefaultMoviesConfig()
+	cfg.Movies = 80
+	a, err := Movies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Movies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Problem.Instance.TotalTuples() != b.Problem.Instance.TotalTuples() {
+		t.Error("generation must be deterministic for a fixed seed")
+	}
+	if len(a.Problem.Pos) != len(b.Problem.Pos) || a.Problem.Pos[0].Key() != b.Problem.Pos[0].Key() {
+		t.Error("example sampling must be deterministic for a fixed seed")
+	}
+}
+
+func TestMoviesViolationInjection(t *testing.T) {
+	clean := DefaultMoviesConfig()
+	clean.Movies = 200
+	dirty := clean
+	dirty.ViolationRate = 0.2
+	cleanDS, err := Movies(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyDS, err := Movies(dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countViolations := func(ds *Dataset) int {
+		total := 0
+		for _, cfd := range ds.Problem.CFDs {
+			total += len(cfd.FindViolations(ds.Problem.Instance))
+		}
+		return total
+	}
+	if countViolations(cleanDS) != 0 {
+		t.Error("p=0 dataset should satisfy all CFDs")
+	}
+	if countViolations(dirtyDS) == 0 {
+		t.Error("p=0.2 dataset should contain CFD violations")
+	}
+	if !constraints.ConsistentCFDs(dirtyDS.Problem.Instance.Schema(), dirtyDS.Problem.CFDs) {
+		t.Error("generated CFD set must be consistent")
+	}
+}
+
+func TestProductsGenerator(t *testing.T) {
+	cfg := DefaultProductsConfig()
+	cfg.Products = 150
+	cfg.Positives = 15
+	cfg.Negatives = 30
+	ds, err := Products(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Problem.Validate(); err != nil {
+		t.Fatalf("generated problem does not validate: %v", err)
+	}
+	if ds.Problem.Target.Name != "upcOfComputersAccessories" {
+		t.Errorf("unexpected target %s", ds.Problem.Target.Name)
+	}
+	if got := ds.Stats().Relations; got != 10 {
+		t.Errorf("Walmart+Amazon should have 10 relations, got %d", got)
+	}
+	if len(ds.Problem.MDs) != 1 || len(ds.Problem.CFDs) != 6 {
+		t.Errorf("expected 1 MD and 6 CFDs, got %d and %d", len(ds.Problem.MDs), len(ds.Problem.CFDs))
+	}
+	if _, err := Products(ProductsConfig{}); err == nil {
+		t.Error("zero products must be rejected")
+	}
+}
+
+func TestCitationsGenerator(t *testing.T) {
+	cfg := DefaultCitationsConfig()
+	cfg.Papers = 150
+	cfg.Positives = 50
+	cfg.Negatives = 100
+	ds, err := Citations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Problem.Validate(); err != nil {
+		t.Fatalf("generated problem does not validate: %v", err)
+	}
+	if ds.Problem.Target.Arity() != 2 {
+		t.Errorf("gsPaperYear should be binary, got arity %d", ds.Problem.Target.Arity())
+	}
+	if len(ds.Problem.MDs) != 2 || len(ds.Problem.CFDs) != 2 {
+		t.Errorf("expected 2 MDs and 2 CFDs, got %d and %d", len(ds.Problem.MDs), len(ds.Problem.CFDs))
+	}
+	// Positive examples carry the true year; negatives a wrong one.
+	for _, e := range ds.Problem.Pos[:10] {
+		if !ds.TruePositives[e.Values[0]+"|"+e.Values[1]] {
+			t.Errorf("positive example %v not in ground truth", e)
+		}
+	}
+	for _, e := range ds.Problem.Neg[:10] {
+		if ds.TruePositives[e.Values[0]+"|"+e.Values[1]] {
+			t.Errorf("negative example %v contradicts ground truth", e)
+		}
+	}
+	if _, err := Citations(CitationsConfig{}); err == nil {
+		t.Error("zero papers must be rejected")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	cfg := DefaultMoviesConfig()
+	cfg.Movies = 50
+	ds, err := Movies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Stats().String()
+	if !strings.Contains(s, "#R=") || !strings.Contains(s, "#P=") {
+		t.Errorf("Stats.String missing fields: %s", s)
+	}
+}
+
+func TestHeterogeneityHelpers(t *testing.T) {
+	// reformatTitle with exactRate 1 always returns the original; with 0 it
+	// always reformats.
+	rngExact := newTestRand(1)
+	if got := reformatTitle(rngExact, "Silent Harbor 3", 2001, 1); got != "Silent Harbor 3" {
+		t.Errorf("exactRate=1 should keep the title, got %q", got)
+	}
+	rngDirty := newTestRand(2)
+	if got := reformatTitle(rngDirty, "Silent Harbor 3", 2001, 0); got == "Silent Harbor 3" {
+		t.Errorf("exactRate=0 should reformat the title")
+	}
+	if got := flipName(newTestRand(3), "John Smith", 0); got != "Smith, John" {
+		t.Errorf("flipName should flip, got %q", got)
+	}
+	if got := alternative(newTestRand(4), []string{"a", "b"}, "a"); got != "b" {
+		t.Errorf("alternative should avoid the excluded value, got %q", got)
+	}
+}

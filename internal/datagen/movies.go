@@ -1,0 +1,219 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dlearn/internal/constraints"
+	"dlearn/internal/core"
+	"dlearn/internal/relation"
+)
+
+// MoviesConfig configures the IMDB+OMDB generator.
+type MoviesConfig struct {
+	// Movies is the number of distinct movies shared by the two sources.
+	Movies int
+	// MDCount selects how many MDs relate the sources: 1 (titles only) or 3
+	// (titles, cast members, writers), matching the paper's two variants.
+	MDCount int
+	// ViolationRate is p, the fraction of entities whose tuples violate a
+	// CFD (injected as duplicated tuples with conflicting values).
+	ViolationRate float64
+	// ExactTitleRate is the fraction of movies whose titles are represented
+	// identically in both sources (gives Castor-Exact partial signal).
+	ExactTitleRate float64
+	// ExactNameRate is the fraction of cast/writer names represented
+	// identically (the paper notes these MDs contain many exact matches).
+	ExactNameRate float64
+	// Positives / Negatives are the numbers of labelled examples to emit.
+	Positives, Negatives int
+	// Seed drives all random choices.
+	Seed int64
+}
+
+// DefaultMoviesConfig returns a laptop-scale configuration of the
+// IMDB+OMDB dataset with the paper's example counts (100 positive / 200
+// negative).
+func DefaultMoviesConfig() MoviesConfig {
+	return MoviesConfig{
+		Movies:         600,
+		MDCount:        1,
+		ViolationRate:  0,
+		ExactTitleRate: 0.25,
+		ExactNameRate:  0.7,
+		Positives:      100,
+		Negatives:      200,
+		Seed:           7,
+	}
+}
+
+// Movies generates the IMDB+OMDB dataset: the target relation
+// dramaRestrictedMovies(imdbId) holds for movies whose IMDB genre list
+// contains Drama and whose OMDB rating is R. The rating lives only in OMDB,
+// so the concept is learnable only by joining the sources through the title
+// (or cast/writer) MDs.
+func Movies(cfg MoviesConfig) (*Dataset, error) {
+	if cfg.Movies <= 0 {
+		return nil, fmt.Errorf("datagen: Movies requires a positive movie count")
+	}
+	if cfg.MDCount != 1 && cfg.MDCount != 3 {
+		return nil, fmt.Errorf("datagen: MDCount must be 1 or 3, got %d", cfg.MDCount)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	inj := violationInjector{rng: rng, rate: cfg.ViolationRate}
+
+	s := relation.NewSchema()
+	s.MustAdd(relation.NewRelation("imdb_movies",
+		relation.Attr("id", "imdb_id"), relation.Attr("title", "imdb_title"), relation.ConstAttr("year", "year")))
+	s.MustAdd(relation.NewRelation("imdb_mov2genres",
+		relation.Attr("id", "imdb_id"), relation.ConstAttr("genre", "genre")))
+	s.MustAdd(relation.NewRelation("imdb_mov2countries",
+		relation.Attr("id", "imdb_id"), relation.ConstAttr("country", "country")))
+	s.MustAdd(relation.NewRelation("imdb_mov2cast",
+		relation.Attr("id", "imdb_id"), relation.Attr("name", "imdb_person")))
+	s.MustAdd(relation.NewRelation("imdb_mov2writers",
+		relation.Attr("id", "imdb_id"), relation.Attr("name", "imdb_person")))
+	s.MustAdd(relation.NewRelation("imdb_mov2releasedate",
+		relation.Attr("id", "imdb_id"), relation.ConstAttr("month", "month"), relation.ConstAttr("year", "year")))
+	s.MustAdd(relation.NewRelation("omdb_movies",
+		relation.Attr("id", "omdb_id"), relation.Attr("title", "omdb_title"), relation.ConstAttr("year", "year")))
+	s.MustAdd(relation.NewRelation("omdb_ratings",
+		relation.Attr("id", "omdb_id"), relation.ConstAttr("rating", "rating")))
+	s.MustAdd(relation.NewRelation("omdb_mov2genres",
+		relation.Attr("id", "omdb_id"), relation.ConstAttr("genre", "genre")))
+	s.MustAdd(relation.NewRelation("omdb_mov2languages",
+		relation.Attr("id", "omdb_id"), relation.ConstAttr("language", "language")))
+	s.MustAdd(relation.NewRelation("omdb_mov2cast",
+		relation.Attr("id", "omdb_id"), relation.Attr("name", "omdb_person")))
+	s.MustAdd(relation.NewRelation("omdb_mov2writers",
+		relation.Attr("id", "omdb_id"), relation.Attr("name", "omdb_person")))
+
+	in := relation.NewInstance(s)
+	truth := make(map[string]bool)
+	var posIDs, negIDs []string
+
+	for i := 0; i < cfg.Movies; i++ {
+		imdbID := fmt.Sprintf("tt%05d", i)
+		omdbID := fmt.Sprintf("om%05d", i)
+		year := 1980 + rng.Intn(45)
+		title := baseTitle(rng, i)
+		omdbTitle := reformatTitle(rng, title, year, cfg.ExactTitleRate)
+
+		// Bias the label-relevant attributes so that roughly a fifth of the
+		// movies satisfy the target concept (Drama and rated R), keeping the
+		// positive class large enough to sample the paper's example counts.
+		genre1 := pick(rng, genres)
+		if rng.Float64() < 0.45 {
+			genre1 = "Drama"
+		}
+		genre2 := pick(rng, genres)
+		rating := pick(rng, ratings)
+		if rng.Float64() < 0.4 {
+			rating = "R"
+		}
+		country := pick(rng, countries)
+		language := pick(rng, languages)
+		month := pick(rng, months)
+		cast1, cast2 := personName(rng), personName(rng)
+		writer := personName(rng)
+
+		in.MustInsert("imdb_movies", imdbID, title, fmt.Sprint(year))
+		in.MustInsert("imdb_mov2genres", imdbID, genre1)
+		if genre2 != genre1 {
+			in.MustInsert("imdb_mov2genres", imdbID, genre2)
+		}
+		in.MustInsert("imdb_mov2countries", imdbID, country)
+		in.MustInsert("imdb_mov2cast", imdbID, cast1)
+		in.MustInsert("imdb_mov2cast", imdbID, cast2)
+		in.MustInsert("imdb_mov2writers", imdbID, writer)
+		in.MustInsert("imdb_mov2releasedate", imdbID, month, fmt.Sprint(year))
+
+		in.MustInsert("omdb_movies", omdbID, omdbTitle, fmt.Sprint(year))
+		in.MustInsert("omdb_ratings", omdbID, rating)
+		in.MustInsert("omdb_mov2genres", omdbID, genre1)
+		in.MustInsert("omdb_mov2languages", omdbID, language)
+		in.MustInsert("omdb_mov2cast", omdbID, flipName(rng, cast1, cfg.ExactNameRate))
+		in.MustInsert("omdb_mov2cast", omdbID, flipName(rng, cast2, cfg.ExactNameRate))
+		in.MustInsert("omdb_mov2writers", omdbID, flipName(rng, writer, cfg.ExactNameRate))
+
+		// CFD violations: conflicting rating, country, language or year for
+		// a fraction p of the movies.
+		if inj.shouldInject() {
+			switch rng.Intn(4) {
+			case 0:
+				in.MustInsert("omdb_ratings", omdbID, alternative(rng, ratings, rating))
+			case 1:
+				in.MustInsert("imdb_mov2countries", imdbID, alternative(rng, countries, country))
+			case 2:
+				in.MustInsert("omdb_mov2languages", omdbID, alternative(rng, languages, language))
+			case 3:
+				in.MustInsert("omdb_movies", omdbID, omdbTitle, fmt.Sprint(year+1))
+			}
+		}
+
+		isPositive := (genre1 == "Drama" || genre2 == "Drama") && rating == "R"
+		truth[imdbID] = isPositive
+		if isPositive {
+			posIDs = append(posIDs, imdbID)
+		} else {
+			negIDs = append(negIDs, imdbID)
+		}
+	}
+
+	target := relation.NewRelation("dramaRestrictedMovies", relation.Attr("imdbId", "imdb_id"))
+
+	mds := []constraints.MD{
+		constraints.SimpleMD("md_title", "imdb_movies", "title", "omdb_movies", "title"),
+	}
+	if cfg.MDCount == 3 {
+		mds = append(mds,
+			constraints.SimpleMD("md_cast", "imdb_mov2cast", "name", "omdb_mov2cast", "name"),
+			constraints.SimpleMD("md_writer", "imdb_mov2writers", "name", "omdb_mov2writers", "name"),
+		)
+	}
+	cfds := []constraints.CFD{
+		constraints.FD("cfd_rating", "omdb_ratings", []string{"id"}, "rating"),
+		constraints.FD("cfd_country", "imdb_mov2countries", []string{"id"}, "country"),
+		constraints.FD("cfd_language", "omdb_mov2languages", []string{"id"}, "language"),
+		constraints.FD("cfd_year", "omdb_movies", []string{"id"}, "year"),
+	}
+
+	pos, neg := sampleExamples(rng, target.Name, posIDs, negIDs, cfg.Positives, cfg.Negatives)
+	name := fmt.Sprintf("IMDB+OMDB (%d MD)", cfg.MDCount)
+	if cfg.ViolationRate > 0 {
+		name = fmt.Sprintf("%s p=%.2f", name, cfg.ViolationRate)
+	}
+	return &Dataset{
+		Name: name,
+		Problem: core.Problem{
+			Instance: in,
+			Target:   target,
+			MDs:      mds,
+			CFDs:     cfds,
+			Pos:      pos,
+			Neg:      neg,
+		},
+		TruePositives: truth,
+	}, nil
+}
+
+// sampleExamples draws up to nPos positive and nNeg negative example tuples
+// for a unary or binary target from the labelled id pools.
+func sampleExamples(rng *rand.Rand, target string, posIDs, negIDs []string, nPos, nNeg int) ([]relation.Tuple, []relation.Tuple) {
+	rng.Shuffle(len(posIDs), func(i, j int) { posIDs[i], posIDs[j] = posIDs[j], posIDs[i] })
+	rng.Shuffle(len(negIDs), func(i, j int) { negIDs[i], negIDs[j] = negIDs[j], negIDs[i] })
+	if nPos > len(posIDs) || nPos <= 0 {
+		nPos = len(posIDs)
+	}
+	if nNeg > len(negIDs) || nNeg <= 0 {
+		nNeg = len(negIDs)
+	}
+	var pos, neg []relation.Tuple
+	for _, id := range posIDs[:nPos] {
+		pos = append(pos, relation.NewTuple(target, id))
+	}
+	for _, id := range negIDs[:nNeg] {
+		neg = append(neg, relation.NewTuple(target, id))
+	}
+	return pos, neg
+}

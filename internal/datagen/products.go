@@ -1,0 +1,172 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dlearn/internal/constraints"
+	"dlearn/internal/core"
+	"dlearn/internal/relation"
+)
+
+var (
+	productAdjectives = []string{"Wireless", "Portable", "Compact", "Ergonomic", "Premium", "Ultra", "Slim", "Rugged", "Smart", "Classic"}
+	productNouns      = []string{"Keyboard", "Mouse", "Headset", "Monitor Stand", "USB Hub", "Laptop Sleeve", "Webcam", "Speaker", "Charger", "Docking Station", "Blender", "Toaster", "Lamp", "Backpack", "Water Bottle"}
+	productBrands     = []string{"Tribeca", "Acme", "Novatech", "Brightline", "Orbit", "Zenwave", "Cascade", "Pinnacle"}
+	productCategories = []string{"ComputersAccessories", "Electronics - General", "Home Kitchen", "Office Products", "Sports Outdoors"}
+	productGroups     = []string{"Electronics - General", "Home", "Office", "Sports"}
+)
+
+// ProductsConfig configures the Walmart+Amazon generator.
+type ProductsConfig struct {
+	// Products is the number of distinct products shared by the two sources.
+	Products int
+	// ViolationRate is p, the fraction of products whose tuples violate a CFD.
+	ViolationRate float64
+	// ExactTitleRate is the fraction of products whose titles match exactly
+	// across the sources.
+	ExactTitleRate float64
+	// Positives / Negatives are the numbers of labelled examples to emit.
+	Positives, Negatives int
+	// Seed drives all random choices.
+	Seed int64
+}
+
+// DefaultProductsConfig matches the paper's example counts (77 / 154).
+func DefaultProductsConfig() ProductsConfig {
+	return ProductsConfig{
+		Products:       350,
+		ViolationRate:  0,
+		ExactTitleRate: 0.2,
+		Positives:      77,
+		Negatives:      154,
+		Seed:           11,
+	}
+}
+
+// Products generates the Walmart+Amazon dataset: the target relation
+// upcOfComputersAccessories(upc) holds for products whose Amazon category is
+// ComputersAccessories; the upc only exists on the Walmart side, so the
+// concept requires joining the sources through the product-title MD.
+func Products(cfg ProductsConfig) (*Dataset, error) {
+	if cfg.Products <= 0 {
+		return nil, fmt.Errorf("datagen: Products requires a positive product count")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	inj := violationInjector{rng: rng, rate: cfg.ViolationRate}
+
+	s := relation.NewSchema()
+	s.MustAdd(relation.NewRelation("walmart_ids",
+		relation.Attr("wid", "walmart_id"), relation.Attr("brand", "brand"), relation.Attr("upc", "upc")))
+	s.MustAdd(relation.NewRelation("walmart_title",
+		relation.Attr("wid", "walmart_id"), relation.Attr("title", "walmart_title")))
+	s.MustAdd(relation.NewRelation("walmart_groupname",
+		relation.Attr("wid", "walmart_id"), relation.ConstAttr("groupname", "group")))
+	s.MustAdd(relation.NewRelation("walmart_brand",
+		relation.Attr("wid", "walmart_id"), relation.ConstAttr("brand", "brand")))
+	s.MustAdd(relation.NewRelation("walmart_price",
+		relation.Attr("wid", "walmart_id"), relation.Attr("price", "price")))
+	s.MustAdd(relation.NewRelation("amazon_title",
+		relation.Attr("aid", "amazon_id"), relation.Attr("title", "amazon_title")))
+	s.MustAdd(relation.NewRelation("amazon_category",
+		relation.Attr("aid", "amazon_id"), relation.ConstAttr("category", "category")))
+	s.MustAdd(relation.NewRelation("amazon_brand",
+		relation.Attr("aid", "amazon_id"), relation.ConstAttr("brand", "brand")))
+	s.MustAdd(relation.NewRelation("amazon_listprice",
+		relation.Attr("aid", "amazon_id"), relation.Attr("price", "price")))
+	s.MustAdd(relation.NewRelation("amazon_itemweight",
+		relation.Attr("aid", "amazon_id"), relation.Attr("weight", "weight")))
+
+	in := relation.NewInstance(s)
+	truth := make(map[string]bool)
+	var posIDs, negIDs []string
+
+	for i := 0; i < cfg.Products; i++ {
+		wid := fmt.Sprintf("w%05d", i)
+		aid := fmt.Sprintf("a%05d", i)
+		upc := fmt.Sprintf("0%011d", 10000+i)
+		brand := pick(rng, productBrands)
+		// Bias the target category so the positive class is large enough to
+		// sample the paper's example counts (77 positives).
+		category := pick(rng, productCategories)
+		if rng.Float64() < 0.22 {
+			category = "ComputersAccessories"
+		}
+		group := pick(rng, productGroups)
+		price := fmt.Sprintf("%d.99", 5+rng.Intn(200))
+		weight := fmt.Sprintf("%.1f pounds", 0.2+rng.Float64()*5)
+		title := fmt.Sprintf("%s %s %s %d", brand, pick(rng, productAdjectives), pick(rng, productNouns), i)
+		amazonTitle := title
+		if rng.Float64() >= cfg.ExactTitleRate {
+			switch rng.Intn(3) {
+			case 0:
+				amazonTitle = fmt.Sprintf("%s (%s)", title, brand)
+			case 1:
+				amazonTitle = fmt.Sprintf("%s - Retail Packaging", title)
+			default:
+				amazonTitle = fmt.Sprintf("New %s", title)
+			}
+		}
+
+		in.MustInsert("walmart_ids", wid, brand, upc)
+		in.MustInsert("walmart_title", wid, title)
+		in.MustInsert("walmart_groupname", wid, group)
+		in.MustInsert("walmart_brand", wid, brand)
+		in.MustInsert("walmart_price", wid, price)
+		in.MustInsert("amazon_title", aid, amazonTitle)
+		in.MustInsert("amazon_category", aid, category)
+		in.MustInsert("amazon_brand", aid, brand)
+		in.MustInsert("amazon_listprice", aid, price)
+		in.MustInsert("amazon_itemweight", aid, weight)
+
+		if inj.shouldInject() {
+			switch rng.Intn(3) {
+			case 0:
+				in.MustInsert("amazon_category", aid, alternative(rng, productCategories, category))
+			case 1:
+				in.MustInsert("walmart_groupname", wid, alternative(rng, productGroups, group))
+			default:
+				in.MustInsert("amazon_brand", aid, alternative(rng, productBrands, brand))
+			}
+		}
+
+		isPositive := category == "ComputersAccessories"
+		truth[upc] = isPositive
+		if isPositive {
+			posIDs = append(posIDs, upc)
+		} else {
+			negIDs = append(negIDs, upc)
+		}
+	}
+
+	target := relation.NewRelation("upcOfComputersAccessories", relation.Attr("upc", "upc"))
+	mds := []constraints.MD{
+		constraints.SimpleMD("md_product_title", "walmart_title", "title", "amazon_title", "title"),
+	}
+	cfds := []constraints.CFD{
+		constraints.FD("cfd_category", "amazon_category", []string{"aid"}, "category"),
+		constraints.FD("cfd_group", "walmart_groupname", []string{"wid"}, "groupname"),
+		constraints.FD("cfd_abrand", "amazon_brand", []string{"aid"}, "brand"),
+		constraints.FD("cfd_upc", "walmart_ids", []string{"wid"}, "upc"),
+		constraints.FD("cfd_price", "walmart_price", []string{"wid"}, "price"),
+		constraints.FD("cfd_weight", "amazon_itemweight", []string{"aid"}, "weight"),
+	}
+
+	pos, neg := sampleExamples(rng, target.Name, posIDs, negIDs, cfg.Positives, cfg.Negatives)
+	name := "Walmart+Amazon"
+	if cfg.ViolationRate > 0 {
+		name = fmt.Sprintf("%s p=%.2f", name, cfg.ViolationRate)
+	}
+	return &Dataset{
+		Name: name,
+		Problem: core.Problem{
+			Instance: in,
+			Target:   target,
+			MDs:      mds,
+			CFDs:     cfds,
+			Pos:      pos,
+			Neg:      neg,
+		},
+		TruePositives: truth,
+	}, nil
+}

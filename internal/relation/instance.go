@@ -1,0 +1,296 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is one row of a relation. Values are stored as strings regardless of
+// the declared attribute type; the learning algorithms treat them as opaque
+// constants and only the similarity operator interprets their content.
+type Tuple struct {
+	Relation string
+	Values   []string
+}
+
+// NewTuple constructs a tuple.
+func NewTuple(rel string, values ...string) Tuple {
+	return Tuple{Relation: rel, Values: values}
+}
+
+// Key returns a canonical identity for the tuple (relation plus values).
+func (t Tuple) Key() string {
+	return t.Relation + "(" + strings.Join(t.Values, "\x1f") + ")"
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	v := make([]string, len(t.Values))
+	copy(v, t.Values)
+	return Tuple{Relation: t.Relation, Values: v}
+}
+
+// Equal reports whether two tuples are identical.
+func (t Tuple) Equal(o Tuple) bool {
+	if t.Relation != o.Relation || len(t.Values) != len(o.Values) {
+		return false
+	}
+	for i := range t.Values {
+		if t.Values[i] != o.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple.
+func (t Tuple) String() string {
+	return fmt.Sprintf("%s(%s)", t.Relation, strings.Join(t.Values, ", "))
+}
+
+// Instance is an in-memory database instance of a schema. It maintains a
+// per-relation, per-attribute hash index from value to tuple positions so
+// that the selections σ_{A∈M}(R) issued by bottom-clause construction
+// (Algorithm 2) are answered without scanning.
+type Instance struct {
+	schema *Schema
+	tuples map[string][]Tuple
+	// index[rel][attr][value] -> positions into tuples[rel]
+	index map[string][]map[string][]int
+	// dedup[rel][tuple key] guards against exact duplicate insertions when
+	// requested by InsertUnique.
+	dedup map[string]map[string]bool
+}
+
+// NewInstance creates an empty instance of the given schema.
+func NewInstance(schema *Schema) *Instance {
+	return &Instance{
+		schema: schema,
+		tuples: make(map[string][]Tuple),
+		index:  make(map[string][]map[string][]int),
+		dedup:  make(map[string]map[string]bool),
+	}
+}
+
+// Schema returns the schema the instance conforms to.
+func (in *Instance) Schema() *Schema { return in.schema }
+
+// Insert adds a tuple to the named relation. It returns an error when the
+// relation is unknown or the arity does not match the schema.
+func (in *Instance) Insert(rel string, values ...string) error {
+	r := in.schema.Relation(rel)
+	if r == nil {
+		return fmt.Errorf("relation: insert into unknown relation %q", rel)
+	}
+	if len(values) != r.Arity() {
+		return fmt.Errorf("relation: insert into %q: got %d values, want %d", rel, len(values), r.Arity())
+	}
+	v := make([]string, len(values))
+	copy(v, values)
+	t := Tuple{Relation: rel, Values: v}
+	pos := len(in.tuples[rel])
+	in.tuples[rel] = append(in.tuples[rel], t)
+	in.indexTuple(rel, pos, t)
+	return nil
+}
+
+// MustInsert inserts and panics on error; intended for generators and tests.
+func (in *Instance) MustInsert(rel string, values ...string) {
+	if err := in.Insert(rel, values...); err != nil {
+		panic(err)
+	}
+}
+
+// InsertUnique inserts the tuple only if an identical tuple is not already
+// present. It reports whether an insertion happened.
+func (in *Instance) InsertUnique(rel string, values ...string) (bool, error) {
+	key := Tuple{Relation: rel, Values: values}.Key()
+	if in.dedup[rel] == nil {
+		in.dedup[rel] = make(map[string]bool)
+		for _, t := range in.tuples[rel] {
+			in.dedup[rel][t.Key()] = true
+		}
+	}
+	if in.dedup[rel][key] {
+		return false, nil
+	}
+	if err := in.Insert(rel, values...); err != nil {
+		return false, err
+	}
+	in.dedup[rel][key] = true
+	return true, nil
+}
+
+func (in *Instance) indexTuple(rel string, pos int, t Tuple) {
+	idx := in.index[rel]
+	if idx == nil {
+		idx = make([]map[string][]int, in.schema.Relation(rel).Arity())
+		for i := range idx {
+			idx[i] = make(map[string][]int)
+		}
+		in.index[rel] = idx
+	}
+	for i, v := range t.Values {
+		idx[i][v] = append(idx[i][v], pos)
+	}
+}
+
+// Tuples returns the tuples of a relation. The returned slice is owned by
+// the instance and must not be modified.
+func (in *Instance) Tuples(rel string) []Tuple { return in.tuples[rel] }
+
+// Count returns the number of tuples in a relation.
+func (in *Instance) Count(rel string) int { return len(in.tuples[rel]) }
+
+// TotalTuples returns the number of tuples across all relations.
+func (in *Instance) TotalTuples() int {
+	total := 0
+	for _, ts := range in.tuples {
+		total += len(ts)
+	}
+	return total
+}
+
+// Select returns the tuples of rel whose attribute at position attr equals
+// value, using the hash index.
+func (in *Instance) Select(rel string, attr int, value string) []Tuple {
+	idx := in.index[rel]
+	if idx == nil || attr < 0 || attr >= len(idx) {
+		return nil
+	}
+	positions := idx[attr][value]
+	if len(positions) == 0 {
+		return nil
+	}
+	out := make([]Tuple, 0, len(positions))
+	for _, p := range positions {
+		out = append(out, in.tuples[rel][p])
+	}
+	return out
+}
+
+// SelectAny returns the tuples of rel that contain value in any attribute
+// whose domain is listed in domains (nil means any attribute).
+func (in *Instance) SelectAny(rel string, value string, domains map[string]bool) []Tuple {
+	r := in.schema.Relation(rel)
+	if r == nil {
+		return nil
+	}
+	seen := make(map[int]bool)
+	var out []Tuple
+	idx := in.index[rel]
+	if idx == nil {
+		return nil
+	}
+	for a := 0; a < r.Arity(); a++ {
+		if domains != nil && !domains[r.Attrs[a].Domain] {
+			continue
+		}
+		for _, p := range idx[a][value] {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, in.tuples[rel][p])
+			}
+		}
+	}
+	return out
+}
+
+// DistinctValues returns the distinct values of an attribute, sorted.
+func (in *Instance) DistinctValues(rel string, attr int) []string {
+	idx := in.index[rel]
+	if idx == nil || attr < 0 || attr >= len(idx) {
+		return nil
+	}
+	out := make([]string, 0, len(idx[attr]))
+	for v := range idx[attr] {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the instance (tuples and indexes). Repairs and
+// baselines that modify data operate on clones so the original dirty
+// instance is preserved.
+func (in *Instance) Clone() *Instance {
+	out := NewInstance(in.schema)
+	for _, rel := range in.schema.Names() {
+		for _, t := range in.tuples[rel] {
+			out.MustInsert(rel, t.Values...)
+		}
+	}
+	return out
+}
+
+// ReplaceValue rewrites every occurrence of old with new in the given
+// attribute of the given relation, rebuilding the affected index entries. It
+// returns the number of tuple fields rewritten. It is used when enforcing
+// MDs and repairing CFD violations on materialized instances.
+func (in *Instance) ReplaceValue(rel string, attr int, old, new string) int {
+	idx := in.index[rel]
+	if idx == nil || attr < 0 || attr >= len(idx) || old == new {
+		return 0
+	}
+	positions := idx[attr][old]
+	if len(positions) == 0 {
+		return 0
+	}
+	for _, p := range positions {
+		in.tuples[rel][p].Values[attr] = new
+	}
+	delete(idx[attr], old)
+	idx[attr][new] = append(idx[attr][new], positions...)
+	// Any dedup cache for this relation is now stale.
+	delete(in.dedup, rel)
+	return len(positions)
+}
+
+// SetValueAt rewrites a single tuple field, keeping the index consistent.
+// The tuple is identified by its position in the relation's tuple slice.
+func (in *Instance) SetValueAt(rel string, pos, attr int, value string) error {
+	ts := in.tuples[rel]
+	if pos < 0 || pos >= len(ts) {
+		return fmt.Errorf("relation: SetValueAt %s: position %d out of range", rel, pos)
+	}
+	r := in.schema.Relation(rel)
+	if attr < 0 || attr >= r.Arity() {
+		return fmt.Errorf("relation: SetValueAt %s: attribute %d out of range", rel, attr)
+	}
+	old := ts[pos].Values[attr]
+	if old == value {
+		return nil
+	}
+	ts[pos].Values[attr] = value
+	// Remove pos from the old index entry.
+	entry := in.index[rel][attr][old]
+	for i, p := range entry {
+		if p == pos {
+			entry = append(entry[:i], entry[i+1:]...)
+			break
+		}
+	}
+	if len(entry) == 0 {
+		delete(in.index[rel][attr], old)
+	} else {
+		in.index[rel][attr][old] = entry
+	}
+	in.index[rel][attr][value] = append(in.index[rel][attr][value], pos)
+	delete(in.dedup, rel)
+	return nil
+}
+
+// Stats summarizes the instance: number of relations and tuples.
+func (in *Instance) Stats() (relations, tuples int) {
+	return in.schema.Len(), in.TotalTuples()
+}
+
+// String renders a compact summary of the instance.
+func (in *Instance) String() string {
+	var b strings.Builder
+	for _, rel := range in.schema.Names() {
+		fmt.Fprintf(&b, "%s: %d tuples\n", rel, len(in.tuples[rel]))
+	}
+	return b.String()
+}

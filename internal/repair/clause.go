@@ -1,0 +1,449 @@
+// Package repair implements the two repair mechanisms of the paper:
+//
+//   - instance-level repairs — enforcing matching dependencies to produce
+//     stable instances (Definition 2.2) and repairing CFD violations by
+//     minimal value modification (Section 2.3); and
+//   - clause-level repairs — converting a clause with repair literals into
+//     its set of repaired clauses by iteratively applying repair groups
+//     (Section 3.2).
+//
+// Repair literals are grouped into repair operations (logic.Literal.Group):
+// the two literals V(x,vx), V(t,vt) of one MD match form a single group and
+// are applied together (enforcing the MD sets both values to one fresh
+// value), while the alternative fixes of one CFD violation (modify either
+// left-hand-side occurrence, or unify the right-hand side in either
+// direction) are separate groups, at most one of which fires per violation
+// in any application order.
+package repair
+
+import (
+	"sort"
+
+	"dlearn/internal/logic"
+)
+
+// Options controls repaired-clause enumeration.
+type Options struct {
+	// MaxClauses caps the number of distinct repaired clauses generated for
+	// one input clause. Zero means DefaultMaxClauses.
+	MaxClauses int
+	// MaxStates caps the number of intermediate states explored. Zero means
+	// DefaultMaxStates.
+	MaxStates int
+	// Origin restricts which repair literals are applied: OriginNone (the
+	// zero value) applies all of them; OriginMD or OriginCFD applies only
+	// the groups of that origin and leaves the others in place. Section 4.3
+	// uses the CFD-only expansion during positive coverage testing.
+	Origin logic.RepairOrigin
+}
+
+// DefaultMaxClauses is the default cap on repaired clauses per clause.
+const DefaultMaxClauses = 64
+
+// DefaultMaxStates is the default cap on explored intermediate states.
+const DefaultMaxStates = 4096
+
+func (o Options) maxClauses() int {
+	if o.MaxClauses > 0 {
+		return o.MaxClauses
+	}
+	return DefaultMaxClauses
+}
+
+func (o Options) maxStates() int {
+	if o.MaxStates > 0 {
+		return o.MaxStates
+	}
+	return DefaultMaxStates
+}
+
+// group is one repair operation: the repair literals sharing a Group tag.
+type group struct {
+	name     string
+	literals []logic.Literal
+}
+
+// collectGroups extracts the repair groups of a clause in deterministic
+// order, restricted to the given origin (OriginNone means all).
+func collectGroups(c logic.Clause, origin logic.RepairOrigin) []group {
+	byName := make(map[string][]logic.Literal)
+	var order []string
+	for _, l := range c.Body {
+		if !l.IsRepair() {
+			continue
+		}
+		if origin != logic.OriginNone && l.Origin != origin {
+			continue
+		}
+		g := l.Group
+		if g == "" {
+			g = l.Pred
+		}
+		if _, ok := byName[g]; !ok {
+			order = append(order, g)
+		}
+		byName[g] = append(byName[g], l)
+	}
+	sort.Strings(order)
+	out := make([]group, 0, len(order))
+	for _, name := range order {
+		out = append(out, group{name: name, literals: byName[name]})
+	}
+	return out
+}
+
+// clauseFacts indexes the restriction literals of a clause so repair-group
+// conditions can be evaluated. Induced equality literals support equality of
+// the original variables but are never rewritten by substitutions, which is
+// what prevents two alternative fixes of the same CFD violation from both
+// firing (see the package comment).
+type clauseFacts struct {
+	eq  map[[2]string]bool
+	sim map[[2]string]bool
+}
+
+func factsOf(c logic.Clause) clauseFacts {
+	f := clauseFacts{eq: make(map[[2]string]bool), sim: make(map[[2]string]bool)}
+	add := func(m map[[2]string]bool, a, b logic.Term) {
+		m[[2]string{a.String(), b.String()}] = true
+		m[[2]string{b.String(), a.String()}] = true
+	}
+	for _, l := range c.Body {
+		switch l.Kind {
+		case logic.EqualityLit:
+			add(f.eq, l.Args[0], l.Args[1])
+		case logic.SimilarityLit:
+			add(f.sim, l.Args[0], l.Args[1])
+		}
+	}
+	return f
+}
+
+// holds evaluates one condition conjunct against the clause facts.
+func (f clauseFacts) holds(c logic.Condition) bool {
+	l, r := c.L, c.R
+	switch c.Op {
+	case logic.CondEq:
+		if l == r {
+			return true
+		}
+		return f.eq[[2]string{l.String(), r.String()}]
+	case logic.CondSim:
+		if l == r {
+			return true
+		}
+		return f.sim[[2]string{l.String(), r.String()}]
+	case logic.CondNeq:
+		// Distinct terms with no equality literal between them (Section 4.1).
+		if l == r {
+			return false
+		}
+		return !f.eq[[2]string{l.String(), r.String()}]
+	default:
+		return false
+	}
+}
+
+// conditionHolds evaluates the conjunction of conditions of a repair group.
+// All literals of a group share the same condition; the first literal's
+// condition is used.
+func conditionHolds(g group, facts clauseFacts) bool {
+	if len(g.literals) == 0 {
+		return false
+	}
+	for _, cond := range g.literals[0].Cond {
+		if !facts.holds(cond) {
+			return false
+		}
+	}
+	return true
+}
+
+// applyGroup applies one repair group to the clause: every literal V(x, vx)
+// of the group substitutes x := vx in the head, in relation literals, in
+// non-induced restriction literals, and in the arguments and conditions of
+// the remaining repair literals. Similarity literals mentioning a replaced
+// term are removed (the fresh value's similarity to other values is
+// unknown). Induced equality literals are left untouched; they are cleaned
+// up at the end if they dangle. The group's own literals are removed.
+func applyGroup(c logic.Clause, g group) logic.Clause {
+	replaced := make(map[logic.Term]logic.Term, len(g.literals))
+	inGroup := make(map[string]bool, len(g.literals))
+	for _, l := range g.literals {
+		replaced[l.Target()] = l.Replacement()
+		inGroup[l.Key()] = true
+	}
+	subst := func(t logic.Term) logic.Term {
+		if r, ok := replaced[t]; ok {
+			return r
+		}
+		return t
+	}
+	out := logic.Clause{Head: substituteLiteral(c.Head, subst)}
+	for _, l := range c.Body {
+		if l.IsRepair() && inGroup[l.Key()] {
+			continue
+		}
+		switch {
+		case l.Kind == logic.SimilarityLit:
+			// Drop similarity literals that mention a replaced term.
+			if _, ok := replaced[l.Args[0]]; ok {
+				continue
+			}
+			if _, ok := replaced[l.Args[1]]; ok {
+				continue
+			}
+			out.Body = append(out.Body, l.Clone())
+		case l.Kind == logic.EqualityLit && l.Induced:
+			out.Body = append(out.Body, l.Clone())
+		default:
+			out.Body = append(out.Body, substituteLiteral(l, subst))
+		}
+	}
+	return out
+}
+
+// dropGroup removes the literals of a group without applying it.
+func dropGroup(c logic.Clause, g group) logic.Clause {
+	inGroup := make(map[string]bool, len(g.literals))
+	for _, l := range g.literals {
+		inGroup[l.Key()] = true
+	}
+	out := logic.Clause{Head: c.Head.Clone()}
+	for _, l := range c.Body {
+		if l.IsRepair() && inGroup[l.Key()] {
+			continue
+		}
+		out.Body = append(out.Body, l.Clone())
+	}
+	return out
+}
+
+func substituteLiteral(l logic.Literal, subst func(logic.Term) logic.Term) logic.Literal {
+	out := l.Clone()
+	for i, a := range out.Args {
+		out.Args[i] = subst(a)
+	}
+	for i, c := range out.Cond {
+		out.Cond[i] = logic.Condition{Op: c.Op, L: subst(c.L), R: subst(c.R)}
+	}
+	return out
+}
+
+// cleanupRepaired normalizes a repaired clause (Section 3.2's final
+// clean-up step): equality classes are collapsed onto a single
+// representative (the class constant when there is exactly one), restriction
+// and induced-equality literals whose variables no longer appear in any
+// schema literal are removed, similarity literals between terms already
+// asserted equal are removed, and body literals are de-duplicated.
+func cleanupRepaired(c logic.Clause) logic.Clause {
+	c = normalizeEqualities(c)
+	c = c.DropDanglingAuxiliaries()
+	eq := make(map[[2]string]bool)
+	for _, l := range c.Body {
+		if l.Kind == logic.EqualityLit {
+			eq[[2]string{l.Args[0].String(), l.Args[1].String()}] = true
+			eq[[2]string{l.Args[1].String(), l.Args[0].String()}] = true
+		}
+	}
+	out := logic.Clause{Head: c.Head}
+	seen := make(map[string]bool, len(c.Body))
+	for _, l := range c.Body {
+		if l.Kind == logic.SimilarityLit {
+			if l.Args[0] == l.Args[1] || eq[[2]string{l.Args[0].String(), l.Args[1].String()}] {
+				continue
+			}
+		}
+		// Trivial equalities carry no information in a repaired clause.
+		if l.Kind == logic.EqualityLit && l.Args[0] == l.Args[1] {
+			continue
+		}
+		k := l.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Body = append(out.Body, l)
+	}
+	return out
+}
+
+// normalizeEqualities inlines equality-to-constant information: every
+// variable whose equality class contains exactly one distinct constant is
+// replaced by that constant (the equality literals introduced when ground
+// bottom clauses split constant occurrences are resolved this way, so
+// repaired ground clauses join on constants again). Classes without a
+// constant are left untouched — the paper's repaired clauses keep
+// variable-to-variable restriction equalities such as vx = vt. Classes with
+// two or more distinct constants are contradictory and are left untouched.
+func normalizeEqualities(c logic.Clause) logic.Clause {
+	classes := make(map[string][]logic.Term)
+	parent := make(map[string]string)
+	var find func(x string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	terms := make(map[string]logic.Term)
+	for _, l := range c.Body {
+		if l.Kind != logic.EqualityLit {
+			continue
+		}
+		a, b := l.Args[0], l.Args[1]
+		terms[a.String()] = a
+		terms[b.String()] = b
+		union(a.String(), b.String())
+	}
+	if len(terms) == 0 {
+		return c
+	}
+	for key, t := range terms {
+		root := find(key)
+		classes[root] = append(classes[root], t)
+	}
+	// Inline classes that resolve to exactly one constant.
+	repr := make(map[logic.Term]logic.Term)
+	for _, members := range classes {
+		var consts []logic.Term
+		for _, m := range members {
+			if m.IsConst() {
+				consts = append(consts, m)
+			}
+		}
+		if len(consts) != 1 {
+			continue // no constant, or contradictory class: leave untouched
+		}
+		for _, m := range members {
+			if m != consts[0] {
+				repr[m] = consts[0]
+			}
+		}
+	}
+	if len(repr) == 0 {
+		return c
+	}
+	subst := func(t logic.Term) logic.Term {
+		if r, ok := repr[t]; ok {
+			return r
+		}
+		return t
+	}
+	out := logic.Clause{Head: substituteLiteral(c.Head, subst)}
+	for _, l := range c.Body {
+		nl := substituteLiteral(l, subst)
+		if nl.Kind == logic.EqualityLit && nl.Args[0] == nl.Args[1] {
+			continue
+		}
+		out.Body = append(out.Body, nl)
+	}
+	return out
+}
+
+// RepairedClauses converts a clause with repair literals into its set of
+// repaired clauses (Section 3.2). Each element is free of repair literals.
+// Different application orders of the repair groups can yield different
+// repaired clauses; all distinct outcomes are returned (subject to the
+// Options caps). A clause without repair literals repairs to itself (after
+// the standard clean-up).
+func RepairedClauses(c logic.Clause, opts Options) []logic.Clause {
+	type state struct {
+		clause logic.Clause
+	}
+	maxClauses, maxStates := opts.maxClauses(), opts.maxStates()
+	results := make(map[string]logic.Clause)
+	visited := make(map[string]bool)
+	statesExplored := 0
+
+	var explore func(s state)
+	explore = func(s state) {
+		if len(results) >= maxClauses || statesExplored >= maxStates {
+			return
+		}
+		statesExplored++
+		key := s.clause.Key()
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+
+		groups := collectGroups(s.clause, opts.Origin)
+		if len(groups) == 0 {
+			final := cleanupRepaired(s.clause)
+			results[final.Key()] = final
+			return
+		}
+		facts := factsOf(s.clause)
+		applicable := make([]group, 0, len(groups))
+		for _, g := range groups {
+			if conditionHolds(g, facts) {
+				applicable = append(applicable, g)
+			}
+		}
+		if len(applicable) == 0 {
+			// No group can fire: drop them all and finish.
+			next := s.clause
+			for _, g := range groups {
+				next = dropGroup(next, g)
+			}
+			final := cleanupRepaired(next)
+			results[final.Key()] = final
+			return
+		}
+		// Branch on which applicable group fires first.
+		for _, g := range applicable {
+			explore(state{clause: applyGroup(s.clause, g)})
+			if len(results) >= maxClauses || statesExplored >= maxStates {
+				return
+			}
+		}
+	}
+	explore(state{clause: c})
+
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]logic.Clause, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, results[k])
+	}
+	return out
+}
+
+// RepairedDefinitions expands every clause of a definition into its repaired
+// clauses. The result groups the repaired clauses per original clause; a
+// repaired definition (Section 3.2) picks exactly one element from each
+// group.
+func RepairedDefinitions(d *logic.Definition, opts Options) [][]logic.Clause {
+	out := make([][]logic.Clause, 0, len(d.Clauses))
+	for _, c := range d.Clauses {
+		out = append(out, RepairedClauses(c, opts))
+	}
+	return out
+}
+
+// CountRepairedDefinitions returns the number of repaired definitions the
+// definition represents (the product of per-clause repaired-clause counts).
+func CountRepairedDefinitions(d *logic.Definition, opts Options) int {
+	if len(d.Clauses) == 0 {
+		return 0
+	}
+	total := 1
+	for _, rc := range RepairedDefinitions(d, opts) {
+		total *= len(rc)
+	}
+	return total
+}

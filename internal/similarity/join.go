@@ -1,0 +1,183 @@
+package similarity
+
+import (
+	"sort"
+)
+
+// Match is one similar value found for a probe value.
+type Match struct {
+	Value string
+	Score float64
+}
+
+// Index precomputes, for a fixed set of candidate values, the data needed to
+// answer top-k similarity probes efficiently: a token inverted index used for
+// blocking plus the similarity function itself. It corresponds to the
+// paper's precomputation of pairs of similar values (Section 5).
+type Index struct {
+	sim       Func
+	threshold float64
+	values    []string
+	tokens    map[string][]int // token -> positions into values
+	// exact maps a value to its positions, so exact matches are always
+	// found even when tokenization yields nothing.
+	exact map[string][]int
+}
+
+// NewIndex builds an index over the candidate values. threshold is the
+// minimum combined similarity for a pair to be considered similar (the ≈
+// operator holds iff score >= threshold).
+func NewIndex(values []string, sim Func, threshold float64) *Index {
+	idx := &Index{
+		sim:       sim,
+		threshold: threshold,
+		values:    make([]string, len(values)),
+		tokens:    make(map[string][]int),
+		exact:     make(map[string][]int),
+	}
+	copy(idx.values, values)
+	for i, v := range idx.values {
+		idx.exact[v] = append(idx.exact[v], i)
+		for t := range TokenSet(v) {
+			idx.tokens[t] = append(idx.tokens[t], i)
+		}
+	}
+	return idx
+}
+
+// Len returns the number of indexed values.
+func (idx *Index) Len() int { return len(idx.values) }
+
+// Threshold returns the similarity threshold of the index.
+func (idx *Index) Threshold() float64 { return idx.threshold }
+
+// TopK returns the k most similar indexed values to the probe (score >=
+// threshold), best first. Ties are broken lexicographically so results are
+// deterministic. k <= 0 means no limit.
+func (idx *Index) TopK(probe string, k int) []Match {
+	candidates := idx.candidates(probe)
+	scored := make([]Match, 0, len(candidates))
+	seen := make(map[string]bool, len(candidates))
+	for _, pos := range candidates {
+		v := idx.values[pos]
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		s := idx.sim(probe, v)
+		if s >= idx.threshold {
+			scored = append(scored, Match{Value: v, Score: s})
+		}
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Score != scored[j].Score {
+			return scored[i].Score > scored[j].Score
+		}
+		return scored[i].Value < scored[j].Value
+	})
+	if k > 0 && len(scored) > k {
+		scored = scored[:k]
+	}
+	return scored
+}
+
+// Similar reports whether the probe is similar (>= threshold) to the given
+// indexed value. Values that were not indexed are still compared directly.
+func (idx *Index) Similar(probe, value string) bool {
+	return idx.sim(probe, value) >= idx.threshold
+}
+
+// candidates returns the positions sharing at least one token with the probe
+// (plus exact matches). When the probe produces no tokens the full value set
+// is scanned, preserving correctness at the cost of speed.
+func (idx *Index) candidates(probe string) []int {
+	set := make(map[int]bool)
+	for _, p := range idx.exact[probe] {
+		set[p] = true
+	}
+	toks := TokenSet(probe)
+	if len(toks) == 0 {
+		out := make([]int, len(idx.values))
+		for i := range idx.values {
+			out[i] = i
+		}
+		return out
+	}
+	for t := range toks {
+		for _, p := range idx.tokens[t] {
+			set[p] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BruteForceTopK computes the same result as Index.TopK without blocking.
+// It exists to validate the blocked index in tests and to serve as the
+// baseline of the similarity-blocking ablation benchmark.
+func BruteForceTopK(probe string, values []string, sim Func, threshold float64, k int) []Match {
+	scored := make([]Match, 0, len(values))
+	seen := make(map[string]bool, len(values))
+	for _, v := range values {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		s := sim(probe, v)
+		if s >= threshold {
+			scored = append(scored, Match{Value: v, Score: s})
+		}
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Score != scored[j].Score {
+			return scored[i].Score > scored[j].Score
+		}
+		return scored[i].Value < scored[j].Value
+	})
+	if k > 0 && len(scored) > k {
+		scored = scored[:k]
+	}
+	return scored
+}
+
+// PairCache memoizes similarity decisions between values so repeated
+// coverage tests do not recompute alignments. It is not safe for concurrent
+// writers; the coverage engine builds per-worker caches.
+type PairCache struct {
+	sim       Func
+	threshold float64
+	cache     map[[2]string]float64
+}
+
+// NewPairCache returns an empty cache around the given similarity function.
+func NewPairCache(sim Func, threshold float64) *PairCache {
+	return &PairCache{sim: sim, threshold: threshold, cache: make(map[[2]string]float64)}
+}
+
+// Score returns the (possibly cached) similarity of a and b. The cache is
+// symmetric.
+func (c *PairCache) Score(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	key := [2]string{a, b}
+	if a > b {
+		key = [2]string{b, a}
+	}
+	if s, ok := c.cache[key]; ok {
+		return s
+	}
+	s := c.sim(a, b)
+	c.cache[key] = s
+	return s
+}
+
+// Similar reports whether a and b meet the threshold.
+func (c *PairCache) Similar(a, b string) bool { return c.Score(a, b) >= c.threshold }
+
+// Size returns the number of cached pairs.
+func (c *PairCache) Size() int { return len(c.cache) }

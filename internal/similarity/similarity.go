@@ -1,0 +1,176 @@
+// Package similarity implements the string-similarity operator DLearn uses
+// to evaluate the ≈ predicate of matching dependencies. Following Section 5
+// of the paper, the operator is the average of the Smith-Waterman-Gotoh local
+// alignment similarity and the Length similarity, and similar value pairs are
+// precomputed (with token blocking) before learning starts.
+package similarity
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Options configures the combined similarity operator.
+type Options struct {
+	// MatchScore is the alignment score for matching characters.
+	MatchScore float64
+	// MismatchScore is the alignment score for mismatching characters
+	// (should be negative).
+	MismatchScore float64
+	// GapOpen is the penalty for opening a gap (should be negative).
+	GapOpen float64
+	// GapExtend is the penalty for extending a gap (should be negative and
+	// not smaller in magnitude than GapOpen).
+	GapExtend float64
+	// CaseInsensitive lowercases both inputs before comparing.
+	CaseInsensitive bool
+}
+
+// DefaultOptions returns the scoring scheme used throughout the repository.
+func DefaultOptions() Options {
+	return Options{
+		MatchScore:      1.0,
+		MismatchScore:   -0.5,
+		GapOpen:         -1.0,
+		GapExtend:       -0.25,
+		CaseInsensitive: true,
+	}
+}
+
+// Func is a normalized string similarity function returning a score in
+// [0, 1], with 1 meaning identical.
+type Func func(a, b string) float64
+
+// SmithWatermanGotoh computes the Smith-Waterman local alignment score with
+// Gotoh's affine gap penalties, normalized by the best achievable score of
+// the shorter string so the result lies in [0, 1].
+func SmithWatermanGotoh(a, b string, opts Options) float64 {
+	if opts.CaseInsensitive {
+		a, b = strings.ToLower(a), strings.ToLower(b)
+	}
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 || len(rb) == 0 {
+		if len(ra) == 0 && len(rb) == 0 {
+			return 1
+		}
+		return 0
+	}
+	n, m := len(ra), len(rb)
+	// h[j]: best score of an alignment ending at (i, j).
+	// e[j]: best score of an alignment ending at (i, j) with a gap in a.
+	// f:     best score of an alignment ending at (i, j) with a gap in b.
+	h := make([]float64, m+1)
+	e := make([]float64, m+1)
+	prevH := make([]float64, m+1)
+	best := 0.0
+	for i := 1; i <= n; i++ {
+		copy(prevH, h)
+		h[0] = 0
+		f := 0.0
+		for j := 1; j <= m; j++ {
+			sub := opts.MismatchScore
+			if ra[i-1] == rb[j-1] {
+				sub = opts.MatchScore
+			}
+			e[j] = max2(e[j]+opts.GapExtend, prevH[j]+opts.GapOpen)
+			f = max2(f+opts.GapExtend, h[j-1]+opts.GapOpen)
+			score := max2(0, prevH[j-1]+sub)
+			score = max2(score, e[j])
+			score = max2(score, f)
+			h[j] = score
+			if score > best {
+				best = score
+			}
+		}
+	}
+	minLen := n
+	if m < minLen {
+		minLen = m
+	}
+	denom := float64(minLen) * opts.MatchScore
+	if denom <= 0 {
+		return 0
+	}
+	s := best / denom
+	if s > 1 {
+		s = 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// Length computes the length similarity: the length of the shorter string
+// divided by the length of the longer one.
+func Length(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	if la > lb {
+		la, lb = lb, la
+	}
+	return float64(la) / float64(lb)
+}
+
+// Combined returns the similarity operator used by DLearn: the average of
+// SmithWatermanGotoh and Length.
+func Combined(opts Options) Func {
+	return func(a, b string) float64 {
+		return (SmithWatermanGotoh(a, b, opts) + Length(a, b)) / 2
+	}
+}
+
+// Default is the combined operator with DefaultOptions.
+func Default() Func { return Combined(DefaultOptions()) }
+
+// Tokenize splits a string into lowercase alphanumeric tokens. It is used
+// for blocking in the similarity join: two values are only compared when
+// they share at least one token.
+func Tokenize(s string) []string {
+	s = strings.ToLower(s)
+	return strings.FieldsFunc(s, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// TokenSet returns the set of tokens of a string.
+func TokenSet(s string) map[string]bool {
+	set := make(map[string]bool)
+	for _, t := range Tokenize(s) {
+		set[t] = true
+	}
+	return set
+}
+
+// Jaccard computes the Jaccard similarity of the token sets of two strings.
+// It is not part of the paper's operator but is exposed for the Castor-Clean
+// baseline's blocking heuristics and for tests.
+func Jaccard(a, b string) float64 {
+	sa, sb := TokenSet(a), TokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

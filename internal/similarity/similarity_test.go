@@ -1,0 +1,284 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSmithWatermanGotohIdentical(t *testing.T) {
+	opts := DefaultOptions()
+	if got := SmithWatermanGotoh("Superbad", "Superbad", opts); got != 1 {
+		t.Errorf("identical strings should score 1, got %f", got)
+	}
+	if got := SmithWatermanGotoh("", "", opts); got != 1 {
+		t.Errorf("two empty strings should score 1, got %f", got)
+	}
+	if got := SmithWatermanGotoh("abc", "", opts); got != 0 {
+		t.Errorf("empty vs non-empty should score 0, got %f", got)
+	}
+}
+
+func TestSmithWatermanGotohSubstring(t *testing.T) {
+	opts := DefaultOptions()
+	// "Superbad" aligns perfectly inside "Superbad (2007)".
+	if got := SmithWatermanGotoh("Superbad", "Superbad (2007)", opts); got != 1 {
+		t.Errorf("substring should score 1, got %f", got)
+	}
+	// Unrelated strings should score low.
+	if got := SmithWatermanGotoh("Superbad", "Orphanage", opts); got > 0.6 {
+		t.Errorf("unrelated strings scored too high: %f", got)
+	}
+}
+
+func TestSmithWatermanGotohCaseInsensitive(t *testing.T) {
+	opts := DefaultOptions()
+	if got := SmithWatermanGotoh("SUPERBAD", "superbad", opts); got != 1 {
+		t.Errorf("case-insensitive comparison should score 1, got %f", got)
+	}
+	opts.CaseInsensitive = false
+	if got := SmithWatermanGotoh("SUPERBAD", "superbad", opts); got == 1 {
+		t.Error("case-sensitive comparison should not score 1")
+	}
+}
+
+func TestLength(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"abcd", "ab", 0.5},
+		{"ab", "abcd", 0.5},
+		{"abc", "abc", 1},
+		{"", "", 1},
+		{"", "abc", 0},
+	}
+	for _, c := range cases {
+		if got := Length(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Length(%q, %q) = %f, want %f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCombinedOrdersTitlesSensibly(t *testing.T) {
+	sim := Default()
+	right := sim("Star Wars", "Star Wars: Episode IV - 1977")
+	wrong := sim("Star Wars", "The Orphanage (2007)")
+	if right <= wrong {
+		t.Errorf("related title (%f) should score above unrelated (%f)", right, wrong)
+	}
+	if sim("Superbad", "Superbad") != 1 {
+		t.Error("identical values must score 1 under the combined operator")
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Star Wars: Episode IV - 1977")
+	want := []string{"star", "wars", "episode", "iv", "1977"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tokenize = %v, want %v", got, want)
+		}
+	}
+	if len(Tokenize("!!!")) != 0 {
+		t.Error("punctuation-only string should yield no tokens")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if got := Jaccard("star wars", "wars star"); got != 1 {
+		t.Errorf("same token sets should give 1, got %f", got)
+	}
+	if got := Jaccard("star wars", "jurassic park"); got != 0 {
+		t.Errorf("disjoint token sets should give 0, got %f", got)
+	}
+	if got := Jaccard("", ""); got != 1 {
+		t.Errorf("two empty strings should give 1, got %f", got)
+	}
+}
+
+func TestIndexTopK(t *testing.T) {
+	values := []string{
+		"Star Wars: Episode IV - 1977",
+		"Star Wars: Episode III - 2005",
+		"Superbad (2007)",
+		"Zoolander (2001)",
+	}
+	idx := NewIndex(values, Default(), 0.5)
+	matches := idx.TopK("Star Wars", 2)
+	if len(matches) != 2 {
+		t.Fatalf("expected 2 matches, got %v", matches)
+	}
+	for _, m := range matches {
+		if m.Value != values[0] && m.Value != values[1] {
+			t.Errorf("unexpected match %v", m)
+		}
+		if m.Score < 0.5 {
+			t.Errorf("match below threshold returned: %v", m)
+		}
+	}
+	if len(idx.TopK("Completely Unrelated XYZ", 5)) != 0 {
+		t.Error("unrelated probe should produce no matches")
+	}
+	if idx.Len() != 4 {
+		t.Errorf("Len = %d", idx.Len())
+	}
+	if idx.Threshold() != 0.5 {
+		t.Errorf("Threshold = %f", idx.Threshold())
+	}
+}
+
+func TestIndexTopKLimit(t *testing.T) {
+	values := []string{"aaa 1", "aaa 2", "aaa 3", "aaa 4"}
+	idx := NewIndex(values, Default(), 0.1)
+	if got := len(idx.TopK("aaa", 2)); got != 2 {
+		t.Errorf("k=2 should cap results, got %d", got)
+	}
+	if got := len(idx.TopK("aaa", 0)); got != 4 {
+		t.Errorf("k=0 should mean unlimited, got %d", got)
+	}
+}
+
+func TestIndexExactMatchWithoutTokens(t *testing.T) {
+	// Values that tokenize to nothing are still found by exact probes.
+	idx := NewIndex([]string{"###", "abc"}, Default(), 0.9)
+	got := idx.TopK("###", 5)
+	if len(got) != 1 || got[0].Value != "###" {
+		t.Fatalf("exact match on token-less value failed: %v", got)
+	}
+}
+
+func TestIndexSimilar(t *testing.T) {
+	idx := NewIndex([]string{"Superbad (2007)"}, Default(), 0.6)
+	if !idx.Similar("Superbad", "Superbad (2007)") {
+		t.Error("Superbad should be similar to Superbad (2007)")
+	}
+	if idx.Similar("Zoolander", "Superbad (2007)") {
+		t.Error("Zoolander should not be similar to Superbad (2007)")
+	}
+}
+
+func TestIndexAgainstBruteForce(t *testing.T) {
+	// Blocking is a sound approximation: every match it returns must also be
+	// a brute-force match with the same score, and every brute-force match
+	// that shares a token with the probe must be found by the index.
+	values := []string{
+		"Star Wars: Episode IV - 1977", "Star Wars: Episode III - 2005",
+		"Superbad (2007)", "Zoolander (2001)", "The Orphanage (2007)",
+		"star wars", "Jurassic Park", "Park Jurassic III",
+	}
+	sim := Default()
+	idx := NewIndex(values, sim, 0.45)
+	probes := []string{"Star Wars", "Superbad", "Jurassic Park III", "Orphanage"}
+	for _, p := range probes {
+		blocked := idx.TopK(p, 0)
+		brute := BruteForceTopK(p, values, sim, 0.45, 0)
+		bruteScores := make(map[string]float64, len(brute))
+		for _, m := range brute {
+			bruteScores[m.Value] = m.Score
+		}
+		blockedSet := make(map[string]bool, len(blocked))
+		for _, m := range blocked {
+			blockedSet[m.Value] = true
+			want, ok := bruteScores[m.Value]
+			if !ok || math.Abs(want-m.Score) > 1e-9 {
+				t.Errorf("probe %q: blocked match %v not confirmed by brute force", p, m)
+			}
+		}
+		probeTokens := TokenSet(p)
+		for _, m := range brute {
+			shares := false
+			for tok := range TokenSet(m.Value) {
+				if probeTokens[tok] {
+					shares = true
+					break
+				}
+			}
+			if shares && !blockedSet[m.Value] {
+				t.Errorf("probe %q: token-sharing match %v missed by blocked index", p, m)
+			}
+		}
+	}
+}
+
+func TestPairCache(t *testing.T) {
+	calls := 0
+	counting := func(a, b string) float64 {
+		calls++
+		return Default()(a, b)
+	}
+	c := NewPairCache(counting, 0.6)
+	if !c.Similar("Superbad", "Superbad (2007)") {
+		t.Fatal("expected similar")
+	}
+	_ = c.Similar("Superbad (2007)", "Superbad") // symmetric: should hit cache
+	if calls != 1 {
+		t.Errorf("expected 1 underlying call, got %d", calls)
+	}
+	if c.Score("same", "same") != 1 {
+		t.Error("identical values should score 1 without calling the function")
+	}
+	if c.Size() != 1 {
+		t.Errorf("cache size = %d, want 1", c.Size())
+	}
+}
+
+// Property: both component similarities and the combined operator stay in
+// [0, 1] and are symmetric.
+func TestPropertySimilarityRangeAndSymmetry(t *testing.T) {
+	sim := Default()
+	opts := DefaultOptions()
+	f := func(a, b string) bool {
+		if len(a) > 64 {
+			a = a[:64]
+		}
+		if len(b) > 64 {
+			b = b[:64]
+		}
+		s1, s2 := sim(a, b), sim(b, a)
+		swg := SmithWatermanGotoh(a, b, opts)
+		l := Length(a, b)
+		inRange := func(x float64) bool { return x >= 0 && x <= 1 && !math.IsNaN(x) }
+		return inRange(s1) && inRange(swg) && inRange(l) && math.Abs(s1-s2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: identity always scores 1 under the combined operator.
+func TestPropertyIdentityScoresOne(t *testing.T) {
+	sim := Default()
+	f := func(a string) bool {
+		if len(a) > 64 {
+			a = a[:64]
+		}
+		return sim(a, a) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the blocked index never returns a match below its threshold.
+func TestPropertyIndexRespectsThreshold(t *testing.T) {
+	values := []string{"alpha beta", "beta gamma", "gamma delta", "delta alpha"}
+	idx := NewIndex(values, Default(), 0.5)
+	f := func(probe string) bool {
+		if len(probe) > 32 {
+			probe = probe[:32]
+		}
+		for _, m := range idx.TopK(probe, 10) {
+			if m.Score < 0.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,462 @@
+package subsumption
+
+import (
+	"dlearn/internal/logic"
+)
+
+// compiled is the preprocessed form of a subsumption problem c ⊆θ d. The
+// variables of c are numbered densely so bindings live in a slice rather
+// than a map, candidate images are precomputed per literal (filtered by
+// predicate and constant positions), and restriction literals are attached
+// to the variables they mention so they are checked as soon as both sides
+// are bound.
+type compiled struct {
+	c, d logic.Clause
+
+	varIndex map[string]int // c variable name -> dense id
+	varNames []string
+
+	// mappable literals of c in search order.
+	lits []compiledLit
+
+	// constraints of c (restriction literals).
+	constraints []compiledConstraint
+	// varConstraints[v] lists constraint indices mentioning variable v.
+	varConstraints [][]int
+
+	// prep is the preprocessed d-side (shared across many c's).
+	prep *Prepared
+
+	skipRepairClosure bool
+	maxNodes          int
+	nodes             int
+}
+
+// Prepared is the preprocessed subsumed-clause side of θ-subsumption: its
+// literals indexed by predicate, its equality closure and similarity pairs,
+// and its repair-literal connectivity. Preparing a ground bottom clause once
+// and testing many candidate clauses against it is the dominant usage in the
+// learner, so this saves recompiling the large side on every test.
+type Prepared struct {
+	d         logic.Clause
+	byPred    map[string][]int
+	eq        *unionFind
+	simPairs  map[[2]string]bool
+	connected map[int][]int
+	maxNodes  int
+}
+
+// Clause returns the clause the preparation was built from.
+func (p *Prepared) Clause() logic.Clause { return p.d }
+
+// Prepare preprocesses the subsumed side d for repeated subsumption tests.
+func (ch *Checker) Prepare(d logic.Clause) *Prepared {
+	p := &Prepared{
+		d:         d,
+		byPred:    make(map[string][]int),
+		eq:        newUnionFind(),
+		simPairs:  make(map[[2]string]bool),
+		connected: make(map[int][]int),
+		maxNodes:  ch.Opts.maxNodes(),
+	}
+	for i, l := range d.Body {
+		if l.IsRelation() || l.IsRepair() {
+			p.byPred[predKey(l)] = append(p.byPred[predKey(l)], i)
+		}
+		switch l.Kind {
+		case logic.EqualityLit:
+			p.eq.union(l.Args[0].String(), l.Args[1].String())
+		case logic.SimilarityLit:
+			a, b := l.Args[0].String(), l.Args[1].String()
+			p.simPairs[[2]string{a, b}] = true
+			p.simPairs[[2]string{b, a}] = true
+		}
+	}
+	for i, l := range d.Body {
+		if l.IsRelation() {
+			p.connected[i] = d.ConnectedRepairLiterals(i)
+		}
+	}
+	return p
+}
+
+// Subsumes reports whether c θ-subsumes the prepared clause under
+// Definition 4.4.
+func (p *Prepared) Subsumes(c logic.Clause) (bool, logic.Substitution) {
+	if c.Head.Pred != p.d.Head.Pred || len(c.Head.Args) != len(p.d.Head.Args) {
+		return false, nil
+	}
+	return compileAgainst(c, p, false).run()
+}
+
+// SubsumesPlain reports whether c θ-subsumes the prepared clause, ignoring
+// the repair-literal closure requirement.
+func (p *Prepared) SubsumesPlain(c logic.Clause) (bool, logic.Substitution) {
+	if c.Head.Pred != p.d.Head.Pred || len(c.Head.Args) != len(p.d.Head.Args) {
+		return false, nil
+	}
+	return compileAgainst(c, p, true).run()
+}
+
+// compiledLit is one relation or repair literal of c with its candidate
+// images in d.
+type compiledLit struct {
+	cIndex     int
+	args       []compiledTerm
+	candidates []int // indices into d.Body
+}
+
+// compiledTerm is a term of c: either a variable id or a constant.
+type compiledTerm struct {
+	varID int    // >= 0 when variable
+	value string // constant value when varID < 0
+}
+
+// compiledConstraint is a restriction literal of c over compiled terms.
+type compiledConstraint struct {
+	kind logic.Kind
+	l, r compiledTerm
+}
+
+// binding is the search state: the image of each c variable (valid only when
+// bound is true).
+type binding struct {
+	terms []logic.Term
+	bound []bool
+}
+
+func (ch *Checker) compile(c, d logic.Clause, skipClosure bool) *compiled {
+	return compileAgainst(c, ch.Prepare(d), skipClosure)
+}
+
+// compileAgainst compiles the c-side of a subsumption problem against an
+// already prepared d-side.
+func compileAgainst(c logic.Clause, prep *Prepared, skipClosure bool) *compiled {
+	e := &compiled{
+		c: c, d: prep.d,
+		varIndex:          make(map[string]int),
+		prep:              prep,
+		skipRepairClosure: skipClosure,
+		maxNodes:          prep.maxNodes,
+	}
+	termOf := func(t logic.Term) compiledTerm {
+		if t.IsConst() {
+			return compiledTerm{varID: -1, value: t.Name}
+		}
+		id, ok := e.varIndex[t.Name]
+		if !ok {
+			id = len(e.varNames)
+			e.varIndex[t.Name] = id
+			e.varNames = append(e.varNames, t.Name)
+		}
+		return compiledTerm{varID: id}
+	}
+
+	// Head variables first so they are bound before the search starts.
+	for _, a := range c.Head.Args {
+		termOf(a)
+	}
+
+	dByPred := prep.byPred
+	d := prep.d
+
+	// Compile c's literals.
+	var lits []compiledLit
+	for i, l := range c.Body {
+		switch {
+		case l.IsRelation() || l.IsRepair():
+			cl := compiledLit{cIndex: i}
+			for _, a := range l.Args {
+				cl.args = append(cl.args, termOf(a))
+			}
+			// Candidate images: same predicate key, same arity, matching
+			// constants at c's constant positions.
+			for _, di := range dByPred[predKey(l)] {
+				dl := d.Body[di]
+				if len(dl.Args) != len(l.Args) {
+					continue
+				}
+				ok := true
+				for k, a := range cl.args {
+					if a.varID < 0 {
+						da := dl.Args[k]
+						if da.IsVar() || da.Name != a.value {
+							ok = false
+							break
+						}
+					}
+				}
+				if ok {
+					cl.candidates = append(cl.candidates, di)
+				}
+			}
+			lits = append(lits, cl)
+		default:
+			ci := compiledConstraint{kind: l.Kind, l: termOf(l.Args[0]), r: termOf(l.Args[1])}
+			e.constraints = append(e.constraints, ci)
+		}
+	}
+	e.varConstraints = make([][]int, len(e.varNames))
+	for idx, con := range e.constraints {
+		if con.l.varID >= 0 {
+			e.varConstraints[con.l.varID] = append(e.varConstraints[con.l.varID], idx)
+		}
+		if con.r.varID >= 0 && con.r.varID != con.l.varID {
+			e.varConstraints[con.r.varID] = append(e.varConstraints[con.r.varID], idx)
+		}
+	}
+
+	// Order literals: fewest candidates first, then greedily prefer literals
+	// connected (sharing variables) to already-placed ones so conflicts are
+	// discovered early.
+	e.lits = orderLits(lits, len(e.varNames), headVarIDs(c, e.varIndex))
+	return e
+}
+
+func headVarIDs(c logic.Clause, varIndex map[string]int) []int {
+	var out []int
+	for _, a := range c.Head.Args {
+		if a.IsVar() {
+			out = append(out, varIndex[a.Name])
+		}
+	}
+	return out
+}
+
+// orderLits produces a search order over the compiled literals: repeatedly
+// pick, among literals sharing a variable with the already-covered variable
+// set, the one with the fewest candidates (falling back to the globally
+// fewest-candidate literal when none is connected).
+func orderLits(lits []compiledLit, numVars int, seedVars []int) []compiledLit {
+	covered := make([]bool, numVars)
+	for _, v := range seedVars {
+		covered[v] = true
+	}
+	used := make([]bool, len(lits))
+	out := make([]compiledLit, 0, len(lits))
+	connectedTo := func(cl compiledLit) bool {
+		for _, a := range cl.args {
+			if a.varID >= 0 && covered[a.varID] {
+				return true
+			}
+		}
+		return false
+	}
+	for len(out) < len(lits) {
+		best := -1
+		bestConnected := false
+		for i, cl := range lits {
+			if used[i] {
+				continue
+			}
+			conn := connectedTo(cl)
+			if best < 0 {
+				best, bestConnected = i, conn
+				continue
+			}
+			cur := lits[best]
+			switch {
+			case conn && !bestConnected:
+				best, bestConnected = i, conn
+			case conn == bestConnected && len(cl.candidates) < len(cur.candidates):
+				best, bestConnected = i, conn
+			}
+		}
+		used[best] = true
+		out = append(out, lits[best])
+		for _, a := range lits[best].args {
+			if a.varID >= 0 {
+				covered[a.varID] = true
+			}
+		}
+	}
+	return out
+}
+
+// run performs the backtracking search. It returns the substitution when c
+// subsumes d.
+func (e *compiled) run() (bool, logic.Substitution) {
+	b := binding{terms: make([]logic.Term, len(e.varNames)), bound: make([]bool, len(e.varNames))}
+	// Bind head variables.
+	for i, a := range e.c.Head.Args {
+		da := e.d.Head.Args[i]
+		if a.IsConst() {
+			if da.IsVar() || da.Name != a.Name {
+				return false, nil
+			}
+			continue
+		}
+		id := e.varIndex[a.Name]
+		if b.bound[id] && b.terms[id] != da {
+			return false, nil
+		}
+		b.terms[id], b.bound[id] = da, true
+	}
+	for id := range b.bound {
+		if b.bound[id] && !e.constraintsOKFor(b, id) {
+			return false, nil
+		}
+	}
+	mapped := make(map[int]int)
+	if !e.search(b, 0, mapped) {
+		return false, nil
+	}
+	theta := logic.NewSubstitution()
+	for id, name := range e.varNames {
+		if b.bound[id] {
+			theta[name] = b.terms[id]
+		}
+	}
+	return true, theta
+}
+
+func (e *compiled) search(b binding, k int, mapped map[int]int) bool {
+	if e.nodes >= e.maxNodes {
+		return false
+	}
+	e.nodes++
+	if k == len(e.lits) {
+		if !e.finalConstraintsOK(b) {
+			return false
+		}
+		if !e.skipRepairClosure && !e.repairClosureOK(mapped) {
+			return false
+		}
+		return true
+	}
+	cl := e.lits[k]
+	for _, di := range cl.candidates {
+		dl := e.d.Body[di]
+		trail, ok := e.bindLit(&b, cl, dl)
+		if ok {
+			prev, hadPrev := mapped[di]
+			mapped[di] = cl.cIndex
+			if e.search(b, k+1, mapped) {
+				return true
+			}
+			if hadPrev {
+				mapped[di] = prev
+			} else {
+				delete(mapped, di)
+			}
+		}
+		for _, v := range trail {
+			b.bound[v] = false
+		}
+		if e.nodes >= e.maxNodes {
+			return false
+		}
+	}
+	return false
+}
+
+// bindLit binds the variables of cl to the arguments of dl, checking
+// constants and the constraints of every newly bound variable. It returns
+// the trail of newly bound variable ids; on failure the caller must undo the
+// trail.
+func (e *compiled) bindLit(b *binding, cl compiledLit, dl logic.Literal) ([]int, bool) {
+	var trail []int
+	for i, a := range cl.args {
+		da := dl.Args[i]
+		if a.varID < 0 {
+			if da.IsVar() || da.Name != a.value {
+				return trail, false
+			}
+			continue
+		}
+		if b.bound[a.varID] {
+			if b.terms[a.varID] != da {
+				return trail, false
+			}
+			continue
+		}
+		b.terms[a.varID] = da
+		b.bound[a.varID] = true
+		trail = append(trail, a.varID)
+		if !e.constraintsOKFor(*b, a.varID) {
+			return trail, false
+		}
+	}
+	return trail, true
+}
+
+// constraintsOKFor checks the constraints mentioning variable v whose two
+// sides are both determined.
+func (e *compiled) constraintsOKFor(b binding, v int) bool {
+	for _, ci := range e.varConstraints[v] {
+		con := e.constraints[ci]
+		lt, lok := e.image(b, con.l)
+		rt, rok := e.image(b, con.r)
+		if !lok || !rok {
+			continue
+		}
+		if !e.constraintHolds(con.kind, lt, rt) {
+			return false
+		}
+	}
+	return true
+}
+
+// finalConstraintsOK re-checks every constraint at the end; constraints with
+// an unbound side are considered satisfiable (a free variable can always be
+// bound to a value making them true).
+func (e *compiled) finalConstraintsOK(b binding) bool {
+	for _, con := range e.constraints {
+		lt, lok := e.image(b, con.l)
+		rt, rok := e.image(b, con.r)
+		if !lok || !rok {
+			continue
+		}
+		if !e.constraintHolds(con.kind, lt, rt) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *compiled) image(b binding, t compiledTerm) (logic.Term, bool) {
+	if t.varID < 0 {
+		return logic.Const(t.value), true
+	}
+	if !b.bound[t.varID] {
+		return logic.Term{}, false
+	}
+	return b.terms[t.varID], true
+}
+
+func (e *compiled) constraintHolds(kind logic.Kind, a, b logic.Term) bool {
+	as, bs := a.String(), b.String()
+	switch kind {
+	case logic.EqualityLit:
+		return as == bs || e.prep.eq.same(as, bs)
+	case logic.SimilarityLit:
+		return as == bs || e.prep.eq.same(as, bs) || e.prep.simPairs[[2]string{as, bs}]
+	case logic.InequalityLit:
+		return as != bs && !e.prep.eq.same(as, bs)
+	default:
+		return true
+	}
+}
+
+// repairClosureOK enforces the second condition of Definition 4.4: every
+// repair literal of d connected to a mapped (non-repair) literal of d must
+// itself be mapped.
+func (e *compiled) repairClosureOK(mapped map[int]int) bool {
+	for di := range mapped {
+		dl := e.d.Body[di]
+		if dl.IsRepair() {
+			continue
+		}
+		connected, ok := e.prep.connected[di]
+		if !ok {
+			connected = e.d.ConnectedRepairLiterals(di)
+			e.prep.connected[di] = connected
+		}
+		for _, ri := range connected {
+			if _, ok := mapped[ri]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

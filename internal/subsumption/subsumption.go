@@ -1,0 +1,131 @@
+// Package subsumption implements θ-subsumption between clauses of the
+// extended hypothesis language, including the repair-literal condition of
+// Definition 4.4 of the paper. θ-subsumption is the generality order used by
+// DLearn's generalization step and the workhorse of its coverage tests
+// (Theorems 4.6 and 4.9 establish that it is sound, and for MD-only repair
+// literals also complete, for logical entailment).
+//
+// The implementation compiles the subsuming clause into an integer-indexed
+// constraint-satisfaction problem (dense variable ids, per-literal candidate
+// lists filtered by constants, connectivity-aware ordering) and runs a
+// bounded backtracking search.
+package subsumption
+
+import (
+	"dlearn/internal/logic"
+)
+
+// Options bounds the backtracking search. θ-subsumption is NP-complete; the
+// learner treats a search that exceeds its budget as "does not subsume",
+// which only makes coverage estimates conservative.
+type Options struct {
+	// MaxNodes caps the number of search nodes explored. Zero means
+	// DefaultMaxNodes.
+	MaxNodes int
+}
+
+// DefaultMaxNodes is the default search budget.
+const DefaultMaxNodes = 100000
+
+func (o Options) maxNodes() int {
+	if o.MaxNodes > 0 {
+		return o.MaxNodes
+	}
+	return DefaultMaxNodes
+}
+
+// Checker performs θ-subsumption tests. The zero value is usable. A Checker
+// is stateless apart from its options and is safe for concurrent use.
+type Checker struct {
+	Opts Options
+}
+
+// New returns a checker with the given options.
+func New(opts Options) *Checker { return &Checker{Opts: opts} }
+
+// Subsumes reports whether c θ-subsumes d (c ⊆θ d) in the sense of
+// Definition 4.4: there is a substitution θ with cθ ⊆ d, where repair
+// literals are matched like ordinary literals, and every repair literal of d
+// connected to a mapped literal of d is itself mapped. The substitution is
+// returned when subsumption holds.
+func (ch *Checker) Subsumes(c, d logic.Clause) (bool, logic.Substitution) {
+	if c.Head.Pred != d.Head.Pred || len(c.Head.Args) != len(d.Head.Args) {
+		return false, nil
+	}
+	return ch.compile(c, d, false).run()
+}
+
+// SubsumesPlain reports whether c θ-subsumes d ignoring the repair-literal
+// connectivity requirement of Definition 4.4. It is the classical
+// θ-subsumption used between repaired clauses.
+func (ch *Checker) SubsumesPlain(c, d logic.Clause) (bool, logic.Substitution) {
+	if c.Head.Pred != d.Head.Pred || len(c.Head.Args) != len(d.Head.Args) {
+		return false, nil
+	}
+	return ch.compile(c, d, true).run()
+}
+
+// Equivalent reports whether two clauses are θ-equivalent (each subsumes the
+// other). It is used by the minimal-generalization tests (Proposition 4.8).
+func (ch *Checker) Equivalent(a, b logic.Clause) bool {
+	ab, _ := ch.Subsumes(a, b)
+	if !ab {
+		return false
+	}
+	ba, _ := ch.Subsumes(b, a)
+	return ba
+}
+
+// predKey distinguishes relation literals by predicate and repair literals by
+// their kind, origin and dependency name, so MD repair literals only map to
+// MD repair literals of the same dependency.
+func predKey(l logic.Literal) string {
+	if l.IsRepair() {
+		return "V#" + l.Origin.String() + "#" + l.Pred
+	}
+	return "R#" + l.Pred
+}
+
+// unionFind is a minimal union-find over strings used for the equality
+// closure of the subsumed clause.
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: make(map[string]string)} }
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+func (u *unionFind) same(a, b string) bool {
+	if a == b {
+		return true
+	}
+	// Avoid creating entries for unknown values: values never mentioned in
+	// an equality literal are only equal to themselves.
+	if _, ok := u.parent[a]; !ok {
+		return false
+	}
+	if _, ok := u.parent[b]; !ok {
+		return false
+	}
+	return u.find(a) == u.find(b)
+}
