@@ -9,6 +9,7 @@
 package dlearn_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -46,7 +47,7 @@ func meanF1Table4(rows []bench.Table4Row, system baseline.System) float64 {
 func BenchmarkTable3DatasetStats(b *testing.B) {
 	o := quietQuickOptions()
 	for i := 0; i < b.N; i++ {
-		stats, err := bench.RunTable3(o)
+		stats, err := bench.RunTable3(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -63,7 +64,7 @@ func BenchmarkTable3DatasetStats(b *testing.B) {
 func BenchmarkTable4MDLearning(b *testing.B) {
 	o := quietQuickOptions()
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.RunTable4(o)
+		rows, err := bench.RunTable4(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func BenchmarkTable4MDLearning(b *testing.B) {
 func BenchmarkTable5CFDLearning(b *testing.B) {
 	o := quietQuickOptions()
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.RunTable5(o)
+		rows, err := bench.RunTable5(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func BenchmarkTable5CFDLearning(b *testing.B) {
 func BenchmarkTable6ExampleScaling(b *testing.B) {
 	o := quietQuickOptions()
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.RunTable6(o)
+		rows, err := bench.RunTable6(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,7 +122,7 @@ func BenchmarkTable6ExampleScaling(b *testing.B) {
 func BenchmarkTable7IterationDepth(b *testing.B) {
 	o := quietQuickOptions()
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.RunTable7(o)
+		rows, err := bench.RunTable7(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,7 +136,7 @@ func BenchmarkTable7IterationDepth(b *testing.B) {
 func BenchmarkFigure1LeftExampleSweep(b *testing.B) {
 	o := quietQuickOptions()
 	for i := 0; i < b.N; i++ {
-		pts, err := bench.RunFigure1Left(o)
+		pts, err := bench.RunFigure1Left(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func BenchmarkFigure1LeftExampleSweep(b *testing.B) {
 func BenchmarkFigure1MiddleSampleSweep(b *testing.B) {
 	o := quietQuickOptions()
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.RunFigure1Middle(o); err != nil {
+		if _, err := bench.RunFigure1Middle(context.Background(), o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -159,7 +160,7 @@ func BenchmarkFigure1MiddleSampleSweep(b *testing.B) {
 func BenchmarkFigure1RightSampleSweep(b *testing.B) {
 	o := quietQuickOptions()
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.RunFigure1Right(o); err != nil {
+		if _, err := bench.RunFigure1Right(context.Background(), o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -251,10 +252,10 @@ func BenchmarkAblationParallelCoverage(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			ev := coverage.NewEvaluator(coverage.Options{Threads: threads})
-			exs := ev.NewExamples(grounds)
+			exs := ev.NewExamples(context.Background(), grounds)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				ev.CountPositiveExamples(clause, exs)
+				ev.CountPositiveExamples(context.Background(), clause, exs)
 			}
 		})
 	}

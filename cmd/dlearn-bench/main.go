@@ -2,20 +2,32 @@
 // figures of "Learning Over Dirty Data Without Cleaning" (SIGMOD 2020) over
 // the synthetic datasets shipped with this repository.
 //
+// Each experiment also emits a machine-readable timing summary —
+// BENCH_<experiment>.json — aggregated from the learner's observer events
+// (runs, iterations, clause decisions, per-phase seconds), so successive
+// versions of the engine can be compared without parsing the tables.
+// Interrupting the run (SIGINT/SIGTERM) cancels the in-flight experiment
+// through the engine's context support.
+//
 // Usage:
 //
 //	dlearn-bench -exp table4            # one experiment at paper scale
 //	dlearn-bench -exp all -quick        # every experiment, shrunk for a smoke run
+//	dlearn-bench -exp table4 -json ""   # disable the JSON summary
 //
 // Experiments: table3, table4, table5, table6, table7, fig1left, fig1mid,
 // fig1right, all.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 
 	"dlearn/internal/bench"
 )
@@ -27,8 +39,12 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed for data generation and splits")
 		threads = flag.Int("threads", 16, "parallel coverage-testing workers")
 		folds   = flag.Int("folds", 0, "cross-validation folds (default: 5, or 2 with -quick)")
+		jsonDir = flag.String("json", ".", "directory for BENCH_<exp>.json timing summaries (empty disables)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opts := bench.DefaultOptions()
 	if *quick {
@@ -41,25 +57,45 @@ func main() {
 	}
 	opts.Out = os.Stdout
 
-	runners := map[string]func(bench.Options) error{
-		"table3":   func(o bench.Options) error { _, err := bench.RunTable3(o); return err },
-		"table4":   func(o bench.Options) error { _, err := bench.RunTable4(o); return err },
-		"table5":   func(o bench.Options) error { _, err := bench.RunTable5(o); return err },
-		"table6":   func(o bench.Options) error { _, err := bench.RunTable6(o); return err },
-		"table7":   func(o bench.Options) error { _, err := bench.RunTable7(o); return err },
-		"fig1left": func(o bench.Options) error { _, err := bench.RunFigure1Left(o); return err },
-		"fig1mid":  func(o bench.Options) error { _, err := bench.RunFigure1Middle(o); return err },
-		"fig1right": func(o bench.Options) error {
-			_, err := bench.RunFigure1Right(o)
+	runners := map[string]func(context.Context, bench.Options) error{
+		"table3":   func(ctx context.Context, o bench.Options) error { _, err := bench.RunTable3(ctx, o); return err },
+		"table4":   func(ctx context.Context, o bench.Options) error { _, err := bench.RunTable4(ctx, o); return err },
+		"table5":   func(ctx context.Context, o bench.Options) error { _, err := bench.RunTable5(ctx, o); return err },
+		"table6":   func(ctx context.Context, o bench.Options) error { _, err := bench.RunTable6(ctx, o); return err },
+		"table7":   func(ctx context.Context, o bench.Options) error { _, err := bench.RunTable7(ctx, o); return err },
+		"fig1left": func(ctx context.Context, o bench.Options) error { _, err := bench.RunFigure1Left(ctx, o); return err },
+		"fig1mid":  func(ctx context.Context, o bench.Options) error { _, err := bench.RunFigure1Middle(ctx, o); return err },
+		"fig1right": func(ctx context.Context, o bench.Options) error {
+			_, err := bench.RunFigure1Right(ctx, o)
 			return err
 		},
 	}
 	order := []string{"table3", "table4", "table5", "table6", "table7", "fig1left", "fig1mid", "fig1right"}
 
+	// runOne executes one experiment with a fresh timing collector and, when
+	// enabled, writes its BENCH_<name>.json summary next to the tables.
+	runOne := func(name string) error {
+		o := opts
+		collector := bench.NewTimingCollector()
+		o.Observer = collector
+		if err := runners[name](ctx, o); err != nil {
+			return err
+		}
+		if *jsonDir == "" {
+			return nil
+		}
+		path := filepath.Join(*jsonDir, "BENCH_"+name+".json")
+		if err := bench.WriteTimingJSON(path, collector.Summary(name)); err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		fmt.Printf("wrote %s\n", path)
+		return nil
+	}
+
 	selected := strings.ToLower(*exp)
 	if selected == "all" {
 		for _, name := range order {
-			if err := runners[name](opts); err != nil {
+			if err := runOne(name); err != nil {
 				fmt.Fprintf(os.Stderr, "dlearn-bench: %s: %v\n", name, err)
 				os.Exit(1)
 			}
@@ -67,13 +103,12 @@ func main() {
 		}
 		return
 	}
-	run, ok := runners[selected]
-	if !ok {
+	if _, ok := runners[selected]; !ok {
 		fmt.Fprintf(os.Stderr, "dlearn-bench: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(opts); err != nil {
+	if err := runOne(selected); err != nil {
 		fmt.Fprintf(os.Stderr, "dlearn-bench: %v\n", err)
 		os.Exit(1)
 	}

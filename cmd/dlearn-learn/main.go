@@ -5,33 +5,45 @@
 // currently wired to the three shipped dataset layouts and rebuilds their
 // schemas and constraints by name.
 //
+// The run is driven through the Engine API: SIGINT/SIGTERM cancels learning
+// mid-search, and -progress streams the engine's observer events (phase
+// timings, iterations, accepted clauses) to stderr.
+//
 // Usage:
 //
 //	dlearn-datagen -dataset movies -out ./data/movies
-//	dlearn-learn   -dataset movies -dir ./data/movies -km 5
+//	dlearn-learn   -dataset movies -dir ./data/movies -km 5 -progress
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"dlearn"
 )
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "movies", "dataset layout: movies|products|citations")
-		dir     = flag.String("dir", "./data", "directory containing the CSV files")
-		km      = flag.Int("km", 5, "number of top similarity matches k_m")
-		iters   = flag.Int("d", 3, "bottom-clause construction iterations d")
-		sample  = flag.Int("sample", 10, "bottom-clause sample size per relation")
-		threads = flag.Int("threads", 8, "parallel coverage-testing workers")
-		system  = flag.String("system", "DLearn", "system to run: DLearn|DLearn-CFD|DLearn-Repaired|Castor-NoMD|Castor-Exact|Castor-Clean")
+		dataset  = flag.String("dataset", "movies", "dataset layout: movies|products|citations")
+		dir      = flag.String("dir", "./data", "directory containing the CSV files")
+		km       = flag.Int("km", 5, "number of top similarity matches k_m")
+		iters    = flag.Int("d", 3, "bottom-clause construction iterations d")
+		sample   = flag.Int("sample", 10, "bottom-clause sample size per relation")
+		threads  = flag.Int("threads", 8, "parallel coverage-testing workers")
+		seed     = flag.Int64("seed", 1, "random seed driving the learner")
+		system   = flag.String("system", "DLearn", "system to run: DLearn|DLearn-CFD|DLearn-Repaired|Castor-NoMD|Castor-Exact|Castor-Clean")
+		progress = flag.Bool("progress", false, "stream learning progress events to stderr")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// Rebuild the problem skeleton (schema, MDs, CFDs, target) from the
 	// generator, then replace its tuples and examples with the CSV contents.
@@ -46,18 +58,43 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := dlearn.DefaultConfig()
-	cfg.BottomClause.KM = *km
-	cfg.BottomClause.Iterations = *iters
-	cfg.BottomClause.SampleSize = *sample
-	cfg.Threads = *threads
+	engineOpts := []dlearn.Option{
+		dlearn.WithTopMatches(*km),
+		dlearn.WithIterations(*iters),
+		dlearn.WithSampleSize(*sample),
+		dlearn.WithThreads(*threads),
+		dlearn.WithSeed(*seed),
+	}
+	if *progress {
+		engineOpts = append(engineOpts, dlearn.WithObserver(progressObserver()))
+	}
+	eng := dlearn.New(engineOpts...)
 
-	def, _, report, err := dlearn.RunBaseline(dlearn.System(*system), problem, cfg)
+	def, _, report, err := eng.RunBaseline(ctx, dlearn.System(*system), problem)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dlearn-learn: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("learned %d clauses in %s:\n\n%s\n", def.Len(), report.Duration.Round(1e7), def)
+}
+
+// progressObserver renders observer events as terse stderr lines.
+func progressObserver() dlearn.Observer {
+	return dlearn.ObserverFunc(func(e dlearn.Event) {
+		switch ev := e.(type) {
+		case dlearn.RunStarted:
+			fmt.Fprintf(os.Stderr, "learning %s (%d pos, %d neg)\n", ev.Target, ev.Positives, ev.Negatives)
+		case dlearn.PhaseDone:
+			fmt.Fprintf(os.Stderr, "phase %s done in %s\n", ev.Phase, ev.Duration.Round(1e6))
+		case dlearn.IterationStarted:
+			fmt.Fprintf(os.Stderr, "iteration %d: seed example %d, %d uncovered\n", ev.Iteration, ev.SeedIndex, ev.Uncovered)
+		case dlearn.ClauseAccepted:
+			fmt.Fprintf(os.Stderr, "  + clause accepted (%d pos / %d neg covered, %d left): %s\n",
+				ev.Positives, ev.Negatives, ev.Uncovered, ev.Clause)
+		case dlearn.ClauseRejected:
+			fmt.Fprintf(os.Stderr, "  - clause rejected (%d pos / %d neg covered)\n", ev.Positives, ev.Negatives)
+		}
+	})
 }
 
 // emptyProblem returns the schema, constraints and target of a dataset
@@ -95,35 +132,41 @@ func emptyProblem(dataset string) (dlearn.Problem, error) {
 	return p, nil
 }
 
-// loadProblem fills the problem with the tuples and examples found in dir.
-func loadProblem(p dlearn.Problem, dir string) (dlearn.Problem, error) {
-	schema := p.Instance.Schema()
+// loadProblem fills a fresh ProblemBuilder with the skeleton's constraints
+// plus the tuples and examples found in dir, and validates the result.
+func loadProblem(skeleton dlearn.Problem, dir string) (*dlearn.Problem, error) {
+	schema := skeleton.Instance.Schema()
+	db := dlearn.NewInstance(schema)
 	for _, rel := range schema.Relations() {
 		rows, err := readCSV(filepath.Join(dir, rel.Name+".csv"))
 		if err != nil {
-			return p, err
+			return nil, err
 		}
 		for _, row := range rows {
-			if err := p.Instance.Insert(rel.Name, row...); err != nil {
-				return p, err
+			if err := db.Insert(rel.Name, row...); err != nil {
+				return nil, err
 			}
 		}
 	}
 	pos, err := readCSV(filepath.Join(dir, "positive_examples.csv"))
 	if err != nil {
-		return p, err
+		return nil, err
 	}
 	neg, err := readCSV(filepath.Join(dir, "negative_examples.csv"))
 	if err != nil {
-		return p, err
+		return nil, err
 	}
+	b := dlearn.NewProblem(skeleton.Target).
+		OnInstance(db).
+		WithMDs(skeleton.MDs...).
+		WithCFDs(skeleton.CFDs...)
 	for _, row := range pos {
-		p.Pos = append(p.Pos, dlearn.NewTuple(p.Target.Name, row...))
+		b.PosValues(row...)
 	}
 	for _, row := range neg {
-		p.Neg = append(p.Neg, dlearn.NewTuple(p.Target.Name, row...))
+		b.NegValues(row...)
 	}
-	return p, nil
+	return b.Build()
 }
 
 // readCSV reads a CSV file and returns its data rows (header skipped).

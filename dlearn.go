@@ -8,12 +8,18 @@
 // repair literals to compactly represent the clauses one would learn over
 // every possible repair.
 //
-// The package is a facade over the internal packages: the in-memory
-// relational engine, the similarity operator, the constraint and repair
-// machinery, the θ-subsumption engine, the covering learner, the Castor-style
-// baselines, the synthetic dataset generators that stand in for the paper's
-// Magellan datasets, and the experiment harness that regenerates every table
-// and figure of the paper's evaluation.
+// # The Engine API
+//
+// The package is used through three pieces:
+//
+//   - An Engine, built once with New and functional options, reusable and
+//     safe for concurrent use. Its methods are context-first: cancellation
+//     and deadlines reach into the covering loop, the parallel coverage
+//     worker pool and every θ-subsumption search.
+//   - A ProblemBuilder, which assembles a learning task fluently and
+//     centralizes validation.
+//   - An optional Observer, which streams progress events (phase timings,
+//     covering iterations, clause decisions) to the caller.
 //
 // A minimal end-to-end use looks like:
 //
@@ -22,19 +28,34 @@
 //		dlearn.Attr("id", "imdb_id"), dlearn.Attr("title", "imdb_title")))
 //	db := dlearn.NewInstance(schema)
 //	db.MustInsert("movies", "m1", "Superbad (2007)")
-//	target := dlearn.NewRelation("highGrossing", dlearn.Attr("title", "bom_title"))
-//	problem := dlearn.Problem{
-//		Instance: db,
-//		Target:   target,
-//		MDs:      []dlearn.MD{dlearn.SimpleMD("md_title", "highGrossing", "title", "movies", "title")},
-//		Pos:      []dlearn.Tuple{dlearn.NewTuple("highGrossing", "Superbad")},
-//	}
-//	def, _, err := dlearn.Learn(problem, dlearn.DefaultConfig())
 //
-// See the examples directory for complete runnable programs.
+//	target := dlearn.NewRelation("highGrossing", dlearn.Attr("title", "bom_title"))
+//	problem, err := dlearn.NewProblem(target).
+//		OnInstance(db).
+//		WithMDs(dlearn.SimpleMD("md_title", "highGrossing", "title", "movies", "title")).
+//		PosValues("Superbad").
+//		Build()
+//	if err != nil { ... }
+//
+//	eng := dlearn.New(dlearn.WithThreads(8), dlearn.WithSeed(1))
+//	def, report, err := eng.Learn(ctx, problem)
+//
+// The free functions Learn, LearnModel and RunBaseline mirror the seed
+// release's one-shot facade; they are deprecated wrappers over a
+// throwaway Engine and remain only so existing callers compile.
+//
+// Under the hood the package fronts the internal packages: the in-memory
+// relational engine, the similarity operator, the constraint and repair
+// machinery, the θ-subsumption engine, the covering learner, the
+// Castor-style baselines, the synthetic dataset generators that stand in for
+// the paper's Magellan datasets, and the experiment harness that regenerates
+// every table and figure of the paper's evaluation. See the examples
+// directory for complete runnable programs.
 package dlearn
 
 import (
+	"context"
+
 	"dlearn/internal/baseline"
 	"dlearn/internal/bench"
 	"dlearn/internal/constraints"
@@ -73,8 +94,10 @@ type (
 // Learning types.
 type (
 	// Problem is a learning task: instance, constraints, target, examples.
+	// Assemble one with NewProblem.
 	Problem = core.Problem
-	// Config controls the learner.
+	// Config controls the learner; prefer configuring an Engine with
+	// functional options over constructing a Config by hand.
 	Config = core.Config
 	// Definition is a learned set of Horn clauses.
 	Definition = logic.Definition
@@ -167,29 +190,33 @@ func NewCFD(name, rel string, lhs []string, rhs string, pattern map[string]strin
 	return constraints.NewCFD(name, rel, lhs, rhs, pattern)
 }
 
-// Learning.
+// Learning: the deprecated one-shot facade.
 
 // DefaultConfig returns the learner configuration mirroring the paper's
-// experimental setup.
+// experimental setup. Prefer New with functional options; DefaultConfig
+// remains for callers that assemble a Config for WithConfig.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // Learn runs DLearn on the problem and returns the learned definition.
+//
+// Deprecated: use New(...).Learn(ctx, &p), which supports cancellation,
+// deadlines and observers.
 func Learn(p Problem, cfg Config) (*Definition, *Report, error) {
-	return core.NewLearner(cfg).Learn(p)
+	return New(WithConfig(cfg)).Learn(context.Background(), &p)
 }
 
 // LearnModel learns a definition and wraps it in a Model for prediction.
+//
+// Deprecated: use New(...).LearnModel(ctx, &p).
 func LearnModel(p Problem, cfg Config) (*Model, *Report, error) {
-	return core.LearnModel(p, cfg)
+	return New(WithConfig(cfg)).LearnModel(context.Background(), &p)
 }
 
 // RunBaseline learns with one of the paper's systems (DLearn or a baseline).
+//
+// Deprecated: use New(...).RunBaseline(ctx, system, &p).
 func RunBaseline(system System, p Problem, cfg Config) (*Definition, *Model, *Report, error) {
-	res, err := baseline.Run(system, p, cfg)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return res.Definition, res.Model, res.Report, nil
+	return New(WithConfig(cfg)).RunBaseline(context.Background(), system, &p)
 }
 
 // Evaluation.

@@ -1,0 +1,72 @@
+package dlearn
+
+import (
+	"context"
+	"fmt"
+
+	"dlearn/internal/baseline"
+	"dlearn/internal/core"
+)
+
+// Engine is a reusable, configured DLearn instance. An Engine is built once
+// with New and functional options, holds no per-run state, and is safe for
+// concurrent use: every Learn call derives its random stream from the
+// engine's Seed, so repeated runs over the same problem produce identical
+// definitions.
+//
+//	eng := dlearn.New(
+//		dlearn.WithThreads(16),
+//		dlearn.WithSeed(1),
+//		dlearn.WithNoiseTolerance(0.3),
+//	)
+//	def, report, err := eng.Learn(ctx, problem)
+//
+// All engine methods are context-first: cancellation and deadlines are
+// honoured inside the covering loop, the parallel coverage worker pool and
+// each θ-subsumption search, so even a single long-running coverage test is
+// interrupted promptly.
+type Engine struct {
+	cfg core.Config
+}
+
+// New builds an Engine from DefaultConfig plus the given options.
+func New(opts ...Option) *Engine {
+	e := &Engine{cfg: core.DefaultConfig()}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Config returns a copy of the engine's effective learner configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Learn runs DLearn on the problem and returns the learned definition. A
+// cancelled or expired context returns ctx.Err().
+func (e *Engine) Learn(ctx context.Context, p *Problem) (*Definition, *Report, error) {
+	if p == nil {
+		return nil, nil, fmt.Errorf("dlearn: nil problem")
+	}
+	return core.NewLearner(e.cfg).LearnContext(ctx, *p)
+}
+
+// LearnModel learns a definition and wraps it in a Model for prediction.
+func (e *Engine) LearnModel(ctx context.Context, p *Problem) (*Model, *Report, error) {
+	if p == nil {
+		return nil, nil, fmt.Errorf("dlearn: nil problem")
+	}
+	return core.LearnModelContext(ctx, *p, e.cfg)
+}
+
+// RunBaseline learns with one of the paper's systems (DLearn or a Castor
+// baseline) over the problem.
+func (e *Engine) RunBaseline(ctx context.Context, system System, p *Problem) (*Definition, *Model, *Report, error) {
+	if p == nil {
+		return nil, nil, nil, fmt.Errorf("dlearn: nil problem")
+	}
+	res, err := baseline.RunContext(ctx, system, *p, e.cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res.Definition, res.Model, res.Report, nil
+}

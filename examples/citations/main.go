@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,19 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
+	// One engine serves every violation rate and system: engines hold no
+	// per-run state, so they are safely reused across learning runs.
+	eng := dlearn.New(
+		dlearn.WithThreads(4),
+		dlearn.WithTopMatches(3),
+		dlearn.WithSampleSize(4),
+		dlearn.WithIterations(3),
+		dlearn.WithGeneralizationSample(4),
+		dlearn.WithMaxClauses(4),
+	)
+
 	for _, p := range []float64{0.0, 0.10} {
 		cfg := dlearn.DefaultCitationsConfig()
 		cfg.Papers = 120
@@ -27,20 +41,12 @@ func main() {
 		}
 		fmt.Printf("Generated %s\n", ds.Stats())
 
-		lcfg := dlearn.DefaultConfig()
-		lcfg.Threads = 4
-		lcfg.BottomClause.KM = 3
-		lcfg.BottomClause.SampleSize = 4
-		lcfg.BottomClause.Iterations = 3
-		lcfg.GeneralizationSample = 4
-		lcfg.MaxClauses = 4
-
 		systems := []dlearn.System{dlearn.DLearn}
 		if p > 0 {
 			systems = []dlearn.System{dlearn.DLearnCFD, dlearn.DLearnRepaired}
 		}
 		for _, system := range systems {
-			def, model, report, err := dlearn.RunBaseline(system, ds.Problem, lcfg)
+			def, model, report, err := eng.RunBaseline(ctx, system, &ds.Problem)
 			if err != nil {
 				log.Fatal(err)
 			}

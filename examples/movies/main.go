@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := dlearn.DefaultMoviesConfig()
 	cfg.Movies = 200
 	cfg.Positives = 20
@@ -33,16 +35,19 @@ func main() {
 	train := ds.Problem
 	train.Pos, train.Neg = split.TrainPos, split.TrainNeg
 
-	lcfg := dlearn.DefaultConfig()
-	lcfg.Threads = 4
-	lcfg.BottomClause.KM = 2
-	lcfg.BottomClause.SampleSize = 4
-	lcfg.BottomClause.Iterations = 3
-	lcfg.GeneralizationSample = 4
-	lcfg.MaxClauses = 6
+	// One engine drives every system; the per-system database and
+	// constraint handling happens inside RunBaseline.
+	eng := dlearn.New(
+		dlearn.WithThreads(4),
+		dlearn.WithTopMatches(2),
+		dlearn.WithSampleSize(4),
+		dlearn.WithIterations(3),
+		dlearn.WithGeneralizationSample(4),
+		dlearn.WithMaxClauses(6),
+	)
 
 	for _, system := range []dlearn.System{dlearn.CastorNoMD, dlearn.CastorExact, dlearn.CastorClean, dlearn.DLearn} {
-		def, model, report, err := dlearn.RunBaseline(system, train, lcfg)
+		def, model, report, err := eng.RunBaseline(ctx, system, &train)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,7 +60,7 @@ func main() {
 	}
 
 	// Show the definition DLearn ends up with.
-	def, _, _, err := dlearn.RunBaseline(dlearn.DLearn, train, lcfg)
+	def, _, _, err := eng.RunBaseline(ctx, dlearn.DLearn, &train)
 	if err != nil {
 		log.Fatal(err)
 	}

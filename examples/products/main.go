@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := dlearn.DefaultProductsConfig()
 	cfg.Products = 180
 	cfg.Positives = 16
@@ -25,19 +27,20 @@ func main() {
 	}
 	fmt.Printf("Generated %s\n\n", ds.Stats())
 
-	lcfg := dlearn.DefaultConfig()
-	lcfg.Threads = 4
-	lcfg.BottomClause.KM = 5
-	lcfg.BottomClause.SampleSize = 4
-	lcfg.BottomClause.Iterations = 4
-	lcfg.GeneralizationSample = 4
-	lcfg.MaxClauses = 6
+	eng := dlearn.New(
+		dlearn.WithThreads(4),
+		dlearn.WithTopMatches(5),
+		dlearn.WithSampleSize(4),
+		dlearn.WithIterations(4),
+		dlearn.WithGeneralizationSample(4),
+		dlearn.WithMaxClauses(6),
+	)
 
 	// Castor-Clean first resolves each product title to its most similar
 	// counterpart and learns over the unified database; DLearn learns over
 	// the dirty database directly.
 	for _, system := range []dlearn.System{dlearn.CastorClean, dlearn.DLearn} {
-		def, model, report, err := dlearn.RunBaseline(system, ds.Problem, lcfg)
+		def, model, report, err := eng.RunBaseline(ctx, system, &ds.Problem)
 		if err != nil {
 			log.Fatal(err)
 		}

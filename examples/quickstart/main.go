@@ -3,9 +3,14 @@
 // approximately, a matching dependency connecting them, and a handful of
 // labelled examples. DLearn learns a Horn-clause definition of the target
 // relation highGrossing(title) directly over the dirty data.
+//
+// It demonstrates the three pieces of the Engine API: the fluent
+// ProblemBuilder, a configured reusable Engine, and an Observer streaming
+// learning progress.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +18,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Declare the schema. Domains mark which attributes are comparable;
 	// ConstAttr marks attributes whose values should stay constants in
 	// learned clauses (like genres).
@@ -44,48 +51,54 @@ func main() {
 
 	// 3. The target relation lives in another "source" (BOM), so its titles
 	// are formatted differently; a matching dependency declares that the two
-	// title attributes refer to the same values when they are similar.
+	// title attributes refer to the same values when they are similar. The
+	// ProblemBuilder assembles and validates the learning task. Training
+	// examples: the comedies are high grossing.
 	target := dlearn.NewRelation("highGrossing", dlearn.Attr("title", "bom_title"))
-	md := dlearn.SimpleMD("md_title", "highGrossing", "title", "movies", "title")
-
-	// 4. Training examples: the comedies are high grossing.
-	var pos, neg []dlearn.Tuple
+	builder := dlearn.NewProblem(target).
+		OnInstance(db).
+		WithMDs(dlearn.SimpleMD("md_title", "highGrossing", "title", "movies", "title"))
 	for _, m := range movies {
-		e := dlearn.NewTuple("highGrossing", m.title) // note: no " (year)" suffix
 		if m.genre == "comedy" {
-			pos = append(pos, e)
+			builder.PosValues(m.title) // note: no " (year)" suffix
 		} else {
-			neg = append(neg, e)
+			builder.NegValues(m.title)
 		}
 	}
-
-	problem := dlearn.Problem{
-		Instance: db,
-		Target:   target,
-		MDs:      []dlearn.MD{md},
-		Pos:      pos,
-		Neg:      neg,
-	}
-
-	// 5. Learn directly over the dirty database — no cleaning step.
-	cfg := dlearn.DefaultConfig()
-	cfg.Threads = 4
-	def, report, err := dlearn.Learn(problem, cfg)
+	problem, err := builder.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("Learned definition:")
+
+	// 4. Configure a reusable engine. The observer streams clause decisions
+	// as they happen; WithSeed makes the run reproducible.
+	eng := dlearn.New(
+		dlearn.WithThreads(4),
+		dlearn.WithSeed(1),
+		dlearn.WithObserver(dlearn.ObserverFunc(func(e dlearn.Event) {
+			if acc, ok := e.(dlearn.ClauseAccepted); ok {
+				fmt.Printf("accepted clause covering %d pos / %d neg\n", acc.Positives, acc.Negatives)
+			}
+		})),
+	)
+
+	// 5. Learn directly over the dirty database — no cleaning step.
+	def, report, err := eng.Learn(ctx, problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nLearned definition:")
 	fmt.Println(def)
 	fmt.Printf("\nLearning took %s (%d candidate clauses considered)\n",
 		report.Duration.Round(1e6), report.ClausesConsidered)
 
 	// 6. Use the learned model to classify new, equally dirty examples.
-	model, _, err := dlearn.LearnModel(problem, cfg)
+	model, _, err := eng.LearnModel(ctx, problem)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, title := range []string{"Golden Orchard", "Midnight Archive"} {
-		got, err := model.Predict(dlearn.NewTuple("highGrossing", title))
+		got, err := model.PredictContext(ctx, dlearn.NewTuple("highGrossing", title))
 		if err != nil {
 			log.Fatal(err)
 		}

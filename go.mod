@@ -1,0 +1,3 @@
+module dlearn
+
+go 1.24

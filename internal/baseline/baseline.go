@@ -16,6 +16,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"dlearn/internal/bottomclause"
@@ -51,10 +52,17 @@ type Result struct {
 	Report     *core.Report
 }
 
-// Run learns with the given system over the problem. The configuration is
-// adjusted per system; cfg.BottomClause.KM, Iterations, SampleSize and the
-// thresholds are honoured for all of them.
+// Run learns with the given system over the problem without cancellation.
+//
+// Deprecated: use RunContext, which honours deadlines and cancellation.
 func Run(system System, p core.Problem, cfg core.Config) (*Result, error) {
+	return RunContext(context.Background(), system, p, cfg)
+}
+
+// RunContext learns with the given system over the problem. The
+// configuration is adjusted per system; cfg.BottomClause.KM, Iterations,
+// SampleSize and the thresholds are honoured for all of them.
+func RunContext(ctx context.Context, system System, p core.Problem, cfg core.Config) (*Result, error) {
 	problem := p
 	switch system {
 	case CastorNoMD:
@@ -93,7 +101,7 @@ func Run(system System, p core.Problem, cfg core.Config) (*Result, error) {
 	}
 
 	learner := core.NewLearner(cfg)
-	def, report, err := learner.Learn(problem)
+	def, report, err := learner.LearnContext(ctx, problem)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: %s: %w", system, err)
 	}

@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"dlearn/internal/core"
 	"dlearn/internal/datagen"
 	"dlearn/internal/eval"
+	"dlearn/internal/observe"
 )
 
 // Options configures an experiment run.
@@ -36,6 +38,10 @@ type Options struct {
 	Folds int
 	// Out receives the rendered tables; nil means os.Stdout.
 	Out io.Writer
+	// Observer receives the learning-run events of every fit the experiment
+	// performs (a TimingCollector aggregates them into a machine-readable
+	// summary); nil discards them.
+	Observer observe.Observer
 }
 
 // DefaultOptions mirrors the paper's experimental setup.
@@ -74,6 +80,7 @@ func (o Options) learnerConfig(km, iterations, sampleSize int) core.Config {
 		cfg.Threads = DefaultOptions().Threads
 	}
 	cfg.Seed = o.Seed
+	cfg.Observer = o.Observer
 	cfg.BottomClause.KM = km
 	cfg.BottomClause.Iterations = iterations
 	cfg.BottomClause.SampleSize = sampleSize
@@ -146,8 +153,9 @@ func (o Options) iterationsFor(dataset string) int {
 }
 
 // crossValidate learns with the given system on every fold and returns the
-// aggregated metrics and the mean learning time in minutes.
-func crossValidate(system baseline.System, ds *datagen.Dataset, cfg core.Config, folds int, seed int64) (eval.Metrics, float64, error) {
+// aggregated metrics and the mean learning time in minutes. Cancelling the
+// context aborts the current fold and returns its error.
+func crossValidate(ctx context.Context, system baseline.System, ds *datagen.Dataset, cfg core.Config, folds int, seed int64) (eval.Metrics, float64, error) {
 	splits, err := eval.KFold(ds.Problem.Pos, ds.Problem.Neg, folds, seed)
 	if err != nil {
 		return eval.Metrics{}, 0, err
@@ -159,7 +167,7 @@ func crossValidate(system baseline.System, ds *datagen.Dataset, cfg core.Config,
 		problem.Pos = split.TrainPos
 		problem.Neg = split.TrainNeg
 		sw := eval.NewStopwatch()
-		res, err := baseline.Run(system, problem, cfg)
+		res, err := baseline.RunContext(ctx, system, problem, cfg)
 		if err != nil {
 			return eval.Metrics{}, 0, err
 		}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -64,7 +65,7 @@ func TestRunTable3(t *testing.T) {
 	var buf bytes.Buffer
 	o := QuickOptions()
 	o.Out = &buf
-	stats, err := RunTable3(o)
+	stats, err := RunTable3(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}

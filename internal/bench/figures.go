@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"dlearn/internal/baseline"
 	"dlearn/internal/datagen"
 )
@@ -24,7 +26,7 @@ func (o Options) Figure1LeftSizes() []int {
 // RunFigure1Left regenerates Figure 1 (left): F1 and learning time while
 // increasing the number of training examples on IMDB+OMDB (3 MDs), MD-only,
 // k_m = 2.
-func RunFigure1Left(o Options) ([]FigurePoint, error) {
+func RunFigure1Left(ctx context.Context, o Options) ([]FigurePoint, error) {
 	w := o.out()
 	fprintf(w, "Figure 1 (left): example scaling on IMDB+OMDB (3 MDs), km=2, MD-only\n")
 	var points []FigurePoint
@@ -40,7 +42,7 @@ func RunFigure1Left(o Options) ([]FigurePoint, error) {
 			return nil, err
 		}
 		lcfg := o.learnerConfig(2, o.iterationsFor("imdb"), 10)
-		m, minutes, err := crossValidate(baseline.DLearn, ds, lcfg, o.folds(), o.Seed)
+		m, minutes, err := crossValidate(ctx, baseline.DLearn, ds, lcfg, o.folds(), o.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -61,7 +63,7 @@ func (o Options) Figure1SampleSizes() []int {
 }
 
 // runFigure1Samples runs the sample-size sweep for a fixed k_m.
-func runFigure1Samples(o Options, km int, label string) ([]FigurePoint, error) {
+func runFigure1Samples(ctx context.Context, o Options, km int, label string) ([]FigurePoint, error) {
 	w := o.out()
 	fprintf(w, "Figure 1 (%s): sample-size sweep on IMDB+OMDB (3 MDs), km=%d\n", label, km)
 	ds, err := datagen.Movies(o.moviesConfig(3, 0))
@@ -71,7 +73,7 @@ func runFigure1Samples(o Options, km int, label string) ([]FigurePoint, error) {
 	var points []FigurePoint
 	for _, sample := range o.Figure1SampleSizes() {
 		lcfg := o.learnerConfig(km, o.iterationsFor("imdb"), sample)
-		m, minutes, err := crossValidate(baseline.DLearn, ds, lcfg, o.folds(), o.Seed)
+		m, minutes, err := crossValidate(ctx, baseline.DLearn, ds, lcfg, o.folds(), o.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -84,16 +86,16 @@ func runFigure1Samples(o Options, km int, label string) ([]FigurePoint, error) {
 
 // RunFigure1Middle regenerates Figure 1 (middle): the sample-size sweep with
 // k_m = 2.
-func RunFigure1Middle(o Options) ([]FigurePoint, error) {
-	return runFigure1Samples(o, 2, "middle")
+func RunFigure1Middle(ctx context.Context, o Options) ([]FigurePoint, error) {
+	return runFigure1Samples(ctx, o, 2, "middle")
 }
 
 // RunFigure1Right regenerates Figure 1 (right): the sample-size sweep with
 // k_m = 5.
-func RunFigure1Right(o Options) ([]FigurePoint, error) {
+func RunFigure1Right(ctx context.Context, o Options) ([]FigurePoint, error) {
 	km := 5
 	if o.Quick {
 		km = 3
 	}
-	return runFigure1Samples(o, km, "right")
+	return runFigure1Samples(ctx, o, km, "right")
 }

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+
+	"dlearn/internal/observe"
+)
+
+// TimingCollector aggregates the observe events of every learning run an
+// experiment performs into a machine-readable timing summary. It is safe for
+// concurrent use (coverage workers never emit events, but future harnesses
+// may run fits in parallel).
+type TimingCollector struct {
+	mu sync.Mutex
+
+	runs              int
+	iterations        int
+	clausesAccepted   int
+	clausesRejected   int
+	clausesConsidered int
+	uncovered         int
+	bottomClause      time.Duration
+	covering          time.Duration
+	total             time.Duration
+}
+
+// NewTimingCollector returns an empty collector.
+func NewTimingCollector() *TimingCollector { return &TimingCollector{} }
+
+// Observe accumulates one learning-run event.
+func (t *TimingCollector) Observe(e observe.Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch ev := e.(type) {
+	case observe.RunStarted:
+		t.runs++
+	case observe.IterationStarted:
+		t.iterations++
+	case observe.ClauseAccepted:
+		t.clausesAccepted++
+	case observe.ClauseRejected:
+		t.clausesRejected++
+	case observe.PhaseDone:
+		switch ev.Phase {
+		case observe.PhaseBottomClauses:
+			t.bottomClause += ev.Duration
+		case observe.PhaseCovering:
+			t.covering += ev.Duration
+		}
+	case observe.RunFinished:
+		t.clausesConsidered += ev.ClausesConsidered
+		t.uncovered += ev.UncoveredPositives
+		t.total += ev.Duration
+	}
+}
+
+// TimingSummary is the JSON-serializable aggregate of an experiment's
+// learning runs, the seed of the perf trajectory tracked across PRs.
+type TimingSummary struct {
+	Experiment          string  `json:"experiment"`
+	Runs                int     `json:"runs"`
+	Iterations          int     `json:"iterations"`
+	ClausesAccepted     int     `json:"clauses_accepted"`
+	ClausesRejected     int     `json:"clauses_rejected"`
+	ClausesConsidered   int     `json:"clauses_considered"`
+	UncoveredPositives  int     `json:"uncovered_positives"`
+	BottomClauseSeconds float64 `json:"bottom_clause_seconds"`
+	CoveringSeconds     float64 `json:"covering_seconds"`
+	TotalSeconds        float64 `json:"total_seconds"`
+}
+
+// Summary snapshots the collector for the named experiment.
+func (t *TimingCollector) Summary(experiment string) TimingSummary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TimingSummary{
+		Experiment:          experiment,
+		Runs:                t.runs,
+		Iterations:          t.iterations,
+		ClausesAccepted:     t.clausesAccepted,
+		ClausesRejected:     t.clausesRejected,
+		ClausesConsidered:   t.clausesConsidered,
+		UncoveredPositives:  t.uncovered,
+		BottomClauseSeconds: t.bottomClause.Seconds(),
+		CoveringSeconds:     t.covering.Seconds(),
+		TotalSeconds:        t.total.Seconds(),
+	}
+}
+
+// WriteTimingJSON writes a timing summary as indented JSON to path.
+func WriteTimingJSON(path string, s TimingSummary) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dlearn/internal/baseline"
+	"dlearn/internal/datagen"
+	"dlearn/internal/observe"
+)
+
+func TestTimingCollectorAggregates(t *testing.T) {
+	c := NewTimingCollector()
+	for run := 0; run < 2; run++ {
+		c.Observe(observe.RunStarted{Target: "t", Positives: 4, Negatives: 8})
+		c.Observe(observe.PhaseDone{Phase: observe.PhaseBottomClauses, Duration: time.Second})
+		c.Observe(observe.IterationStarted{Iteration: 1})
+		c.Observe(observe.ClauseAccepted{Iteration: 1, Positives: 3})
+		c.Observe(observe.ClauseRejected{Iteration: 1})
+		c.Observe(observe.PhaseDone{Phase: observe.PhaseCovering, Duration: 2 * time.Second})
+		c.Observe(observe.RunFinished{Clauses: 1, ClausesConsidered: 10, UncoveredPositives: 1, Duration: 3 * time.Second})
+	}
+	s := c.Summary("exp")
+	if s.Experiment != "exp" || s.Runs != 2 || s.Iterations != 2 ||
+		s.ClausesAccepted != 2 || s.ClausesRejected != 2 || s.ClausesConsidered != 20 ||
+		s.UncoveredPositives != 2 {
+		t.Errorf("unexpected summary: %+v", s)
+	}
+	if s.BottomClauseSeconds != 2 || s.CoveringSeconds != 4 || s.TotalSeconds != 6 {
+		t.Errorf("unexpected timing aggregation: %+v", s)
+	}
+}
+
+func TestWriteTimingJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	want := TimingSummary{Experiment: "test", Runs: 3, TotalSeconds: 1.5}
+	if err := WriteTimingJSON(path, want); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got TimingSummary
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("summary is not valid JSON: %v\n%s", err, data)
+	}
+	if got != want {
+		t.Errorf("round-trip = %+v, want %+v", got, want)
+	}
+}
+
+// TestExperimentEmitsObserverEvents runs a real (small) cross-validated fit
+// with a collector attached and checks events flowed all the way through
+// Options.Observer → learner config → covering learner.
+func TestExperimentEmitsObserverEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	o := QuickOptions()
+	collector := NewTimingCollector()
+	o.Observer = collector
+
+	ds, err := datagen.Movies(o.moviesConfig(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := o.learnerConfig(2, 2, 4)
+	if _, _, err := crossValidate(context.Background(), baseline.DLearn, ds, cfg, o.folds(), o.Seed); err != nil {
+		t.Fatal(err)
+	}
+
+	s := collector.Summary("smoke")
+	if s.Runs != o.folds() {
+		t.Errorf("collector saw %d runs, want one per fold (%d)", s.Runs, o.folds())
+	}
+	if s.Iterations == 0 || s.TotalSeconds <= 0 {
+		t.Errorf("observer events did not flow through the harness: %+v", s)
+	}
+}

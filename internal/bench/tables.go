@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"fmt"
 
 	"dlearn/internal/baseline"
@@ -61,7 +63,7 @@ func (o Options) iterationsForSpec(spec datasetSpec) int {
 // --- Table 3 ----------------------------------------------------------------
 
 // RunTable3 regenerates the dataset-statistics table (Table 3).
-func RunTable3(o Options) ([]datagen.Stats, error) {
+func RunTable3(ctx context.Context, o Options) ([]datagen.Stats, error) {
 	w := o.out()
 	fprintf(w, "Table 3: dataset statistics\n")
 	var out []datagen.Stats
@@ -99,7 +101,7 @@ func (o Options) Table4KMs() []int {
 
 // RunTable4 regenerates Table 4: learning over the MD-only datasets with
 // Castor-NoMD, Castor-Exact, Castor-Clean and DLearn (k_m ∈ {2,5,10}).
-func RunTable4(o Options) ([]Table4Row, error) {
+func RunTable4(ctx context.Context, o Options) ([]Table4Row, error) {
 	w := o.out()
 	fprintf(w, "Table 4: learning over datasets with MDs (F1 / minutes)\n")
 	var rows []Table4Row
@@ -112,7 +114,7 @@ func RunTable4(o Options) ([]Table4Row, error) {
 		fprintf(w, "  %s\n", spec.label)
 		for _, system := range []baseline.System{baseline.CastorNoMD, baseline.CastorExact, baseline.CastorClean} {
 			cfg := o.learnerConfig(5, iters, 10)
-			m, minutes, err := crossValidate(system, ds, cfg, o.folds(), o.Seed)
+			m, minutes, err := crossValidate(ctx, system, ds, cfg, o.folds(), o.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -122,7 +124,7 @@ func RunTable4(o Options) ([]Table4Row, error) {
 		}
 		for _, km := range o.Table4KMs() {
 			cfg := o.learnerConfig(km, iters, 10)
-			m, minutes, err := crossValidate(baseline.DLearn, ds, cfg, o.folds(), o.Seed)
+			m, minutes, err := crossValidate(ctx, baseline.DLearn, ds, cfg, o.folds(), o.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -156,7 +158,7 @@ func (o Options) Table5Rates() []float64 {
 
 // RunTable5 regenerates Table 5: DLearn-CFD vs DLearn-Repaired under
 // injected CFD violations.
-func RunTable5(o Options) ([]Table5Row, error) {
+func RunTable5(ctx context.Context, o Options) ([]Table5Row, error) {
 	w := o.out()
 	fprintf(w, "Table 5: learning over datasets with MDs and CFD violations (F1 / minutes)\n")
 	var rows []Table5Row
@@ -178,7 +180,7 @@ func RunTable5(o Options) ([]Table5Row, error) {
 					return nil, err
 				}
 				cfg := o.learnerConfig(km, iters, 10)
-				m, minutes, err := crossValidate(system, ds, cfg, o.folds(), o.Seed)
+				m, minutes, err := crossValidate(ctx, system, ds, cfg, o.folds(), o.Seed)
 				if err != nil {
 					return nil, err
 				}
@@ -222,7 +224,7 @@ func (o Options) Table6KMs() []int {
 }
 
 // RunTable6 regenerates Table 6: example-count scaling with CFD violations.
-func RunTable6(o Options) ([]Table6Row, error) {
+func RunTable6(ctx context.Context, o Options) ([]Table6Row, error) {
 	w := o.out()
 	fprintf(w, "Table 6: scaling the number of examples on IMDB+OMDB (3 MDs) with CFD violations\n")
 	var rows []Table6Row
@@ -241,7 +243,7 @@ func RunTable6(o Options) ([]Table6Row, error) {
 				return nil, err
 			}
 			lcfg := o.learnerConfig(km, o.iterationsFor("imdb"), 10)
-			m, minutes, err := crossValidate(baseline.DLearnCFD, ds, lcfg, o.folds(), o.Seed)
+			m, minutes, err := crossValidate(ctx, baseline.DLearnCFD, ds, lcfg, o.folds(), o.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -272,7 +274,7 @@ func (o Options) Table7Depths() []int {
 
 // RunTable7 regenerates Table 7: DLearn-CFD on IMDB+OMDB (3 MDs + CFDs) with
 // varying bottom-clause construction depth d, k_m = 5.
-func RunTable7(o Options) ([]Table7Row, error) {
+func RunTable7(ctx context.Context, o Options) ([]Table7Row, error) {
 	w := o.out()
 	fprintf(w, "Table 7: effect of the number of iterations d (IMDB+OMDB, 3 MDs + CFDs, km=5)\n")
 	ds, err := datagen.Movies(o.moviesConfig(3, 0.10))
@@ -286,7 +288,7 @@ func RunTable7(o Options) ([]Table7Row, error) {
 	var rows []Table7Row
 	for _, d := range o.Table7Depths() {
 		cfg := o.learnerConfig(km, d, 10)
-		m, minutes, err := crossValidate(baseline.DLearnCFD, ds, cfg, o.folds(), o.Seed)
+		m, minutes, err := crossValidate(ctx, baseline.DLearnCFD, ds, cfg, o.folds(), o.Seed)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -24,7 +25,7 @@ func TestTimingProbe(t *testing.T) {
 	}
 	start := time.Now()
 	lcfg := o.learnerConfig(2, 3, 6)
-	res, err := baseline.Run(baseline.DLearn, ds.Problem, lcfg)
+	res, err := baseline.RunContext(context.Background(), baseline.DLearn, ds.Problem, lcfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -16,6 +17,7 @@ import (
 	"dlearn/internal/coverage"
 	"dlearn/internal/generalize"
 	"dlearn/internal/logic"
+	"dlearn/internal/observe"
 	"dlearn/internal/relation"
 	"dlearn/internal/repair"
 	"dlearn/internal/subsumption"
@@ -93,12 +95,18 @@ type Config struct {
 	MaxClauses int
 	// Threads is the worker-pool size for coverage testing.
 	Threads int
-	// Seed drives every random choice (seed selection, candidate sampling).
+	// Seed drives every random choice (seed selection, candidate sampling,
+	// and — unless BottomClause.Seed is set explicitly — bottom-clause
+	// tuple sampling). There is no fallback to wall-clock seeding: two runs
+	// with the same Seed over the same problem produce identical
+	// definitions.
 	Seed int64
 	// Subsumption bounds each θ-subsumption search.
 	Subsumption subsumption.Options
 	// Repair bounds repaired-clause expansion during coverage testing.
 	Repair repair.Options
+	// Observer receives progress events during learning; nil discards them.
+	Observer observe.Observer
 }
 
 // DefaultConfig mirrors the paper's experimental setup (sample size 10,
@@ -135,9 +143,12 @@ type Report struct {
 }
 
 // Learner runs DLearn (or, with the appropriate configuration, one of the
-// Castor-style baselines) on a Problem.
+// Castor-style baselines) on a Problem. A Learner holds no per-run state:
+// the same Learner may run many problems, concurrently or in sequence, and
+// every run is deterministic given the problem and the configured Seed.
 type Learner struct {
 	cfg Config
+	obs observe.Observer
 }
 
 // NewLearner builds a learner with the given configuration.
@@ -157,19 +168,43 @@ func NewLearner(cfg Config) *Learner {
 	if cfg.MaxNegativeFraction <= 0 {
 		cfg.MaxNegativeFraction = DefaultConfig().MaxNegativeFraction
 	}
-	return &Learner{cfg: cfg}
+	if cfg.BottomClause.Seed == 0 {
+		// Keep the whole run on one seed unless the caller pinned the
+		// bottom-clause sampling seed separately.
+		cfg.BottomClause.Seed = cfg.Seed
+	}
+	obs := cfg.Observer
+	if obs == nil {
+		obs = observe.Discard
+	}
+	return &Learner{cfg: cfg, obs: obs}
 }
 
 // Config returns the learner configuration.
 func (l *Learner) Config() Config { return l.cfg }
 
-// Learn runs the covering algorithm and returns the learned definition.
+// Learn runs the covering algorithm without cancellation.
+//
+// Deprecated: use LearnContext, which honours deadlines and cancellation.
 func (l *Learner) Learn(p Problem) (*logic.Definition, *Report, error) {
+	return l.LearnContext(context.Background(), p)
+}
+
+// LearnContext runs the covering algorithm and returns the learned
+// definition. The context is checked between covering iterations, between
+// hill-climbing steps, inside the parallel coverage worker pool and inside
+// each θ-subsumption search, so cancellation interrupts even a single
+// long-running coverage test; a cancelled run returns ctx.Err().
+func (l *Learner) LearnContext(ctx context.Context, p Problem) (*logic.Definition, *Report, error) {
 	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	start := time.Now()
 	report := &Report{}
+	l.obs.Observe(observe.RunStarted{Target: p.Target.Name, Positives: len(p.Pos), Negatives: len(p.Neg)})
 
 	builder := bottomclause.NewBuilder(p.Instance, p.Target, p.MDs, p.CFDs, l.cfg.BottomClause)
 	eval := coverage.NewEvaluator(coverage.Options{
@@ -182,29 +217,40 @@ func (l *Learner) Learn(p Problem) (*logic.Definition, *Report, error) {
 	// Precompute ground bottom clauses for every training example and
 	// prepare them for repeated coverage tests (Section 4.3).
 	bcStart := time.Now()
-	posGround, err := l.groundAll(builder, p.Pos)
+	posGround, err := l.groundAll(ctx, builder, p.Pos)
 	if err != nil {
 		return nil, nil, err
 	}
-	negGround, err := l.groundAll(builder, p.Neg)
+	negGround, err := l.groundAll(ctx, builder, p.Neg)
 	if err != nil {
 		return nil, nil, err
 	}
-	posEx := eval.NewExamples(posGround)
-	negEx := eval.NewExamples(negGround)
+	posEx := eval.NewExamples(ctx, posGround)
+	negEx := eval.NewExamples(ctx, negGround)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	report.BottomClauseTime = time.Since(bcStart)
+	l.obs.Observe(observe.PhaseDone{Phase: observe.PhaseBottomClauses, Duration: report.BottomClauseTime})
 
+	coveringStart := time.Now()
 	def := &logic.Definition{Target: p.Target.Name}
 	uncovered := make([]int, len(p.Pos))
 	for i := range uncovered {
 		uncovered[i] = i
 	}
 
+	iteration := 0
 	for len(uncovered) > 0 && def.Len() < l.cfg.MaxClauses {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		// Pick the seed: the first uncovered positive example (deterministic
 		// given the example order and the seed-driven shuffles below).
 		seedIdx := uncovered[0]
+		iteration++
 		report.SeedsTried++
+		l.obs.Observe(observe.IterationStarted{Iteration: iteration, SeedIndex: seedIdx, Uncovered: len(uncovered)})
 
 		bottom, err := builder.BottomClause(p.Pos[seedIdx])
 		if err != nil {
@@ -227,6 +273,9 @@ func (l *Learner) Learn(p Problem) (*logic.Definition, *Report, error) {
 		// sample of uncovered positive examples and keep the best-scoring
 		// candidate, until the score stops improving (Section 4.2).
 		for {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
 			sample := l.sampleUncovered(rng, uncovered, seedIdx)
 			if len(sample) == 0 {
 				break
@@ -235,18 +284,21 @@ func (l *Learner) Learn(p Problem) (*logic.Definition, *Report, error) {
 			bestScore := currentScore
 			improved := false
 			for _, ei := range sample {
+				if err := ctx.Err(); err != nil {
+					return nil, nil, err
+				}
 				// Generalize against the prepared example so the blocking-
 				// literal scan reuses its precompiled ground clause.
 				ex := posEx[ei]
 				genEx := generalize.New(func(cand, _ logic.Clause) bool {
-					return eval.CoversPositiveExample(cand, ex)
+					return eval.CoversPositiveExample(ctx, cand, ex)
 				})
 				cand, ok := genEx.Generalize(current, posGround[ei])
 				if !ok {
 					continue
 				}
 				report.ClausesConsidered++
-				score := l.scoreOnUncovered(eval, cand, posEx, uncovered, searchNeg)
+				score := l.scoreOnUncovered(ctx, eval, cand, posEx, uncovered, searchNeg)
 				if score.Value() > bestScore.Value() {
 					best, bestScore, improved = cand, score, true
 				}
@@ -255,10 +307,19 @@ func (l *Learner) Learn(p Problem) (*logic.Definition, *Report, error) {
 				break
 			}
 			current, currentScore = best, bestScore
+			l.obs.Observe(observe.CoverageProgress{
+				Iteration:         iteration,
+				ClausesConsidered: report.ClausesConsidered,
+				BestPositives:     currentScore.PositivesCovered,
+				BestNegatives:     currentScore.NegativesCovered,
+			})
 		}
 
 		// Acceptance test over the full training set.
-		full := eval.ScoreClauseExamples(current, posEx, negEx)
+		full := eval.ScoreClauseExamples(ctx, current, posEx, negEx)
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		accept := full.PositivesCovered >= l.cfg.MinPositiveCoverage &&
 			float64(full.NegativesCovered) <= l.cfg.MaxNegativeFraction*float64(full.PositivesCovered+full.NegativesCovered)
 		if accept {
@@ -267,26 +328,49 @@ func (l *Learner) Learn(p Problem) (*logic.Definition, *Report, error) {
 				NegativesCovered: full.NegativesCovered,
 				Score:            full.PositivesCovered - full.NegativesCovered,
 			})
-			covered := eval.CoveredPositiveExamples(current, posEx)
+			covered := eval.CoveredPositiveExamples(ctx, current, posEx)
 			uncovered = subtract(uncovered, covered)
 			// The seed must leave the pool even if the accepted clause
 			// somehow fails to cover it (conservative coverage testing),
 			// otherwise the loop would not terminate.
 			uncovered = subtract(uncovered, []int{seedIdx})
+			l.obs.Observe(observe.ClauseAccepted{
+				Iteration: iteration,
+				Clause:    current.String(),
+				Positives: full.PositivesCovered,
+				Negatives: full.NegativesCovered,
+				Uncovered: len(uncovered),
+			})
 		} else {
 			uncovered = subtract(uncovered, []int{seedIdx})
+			l.obs.Observe(observe.ClauseRejected{
+				Iteration: iteration,
+				Clause:    current.String(),
+				Positives: full.PositivesCovered,
+				Negatives: full.NegativesCovered,
+			})
 		}
 	}
 
 	report.UncoveredPositives = len(uncovered)
 	report.Duration = time.Since(start)
+	l.obs.Observe(observe.PhaseDone{Phase: observe.PhaseCovering, Duration: time.Since(coveringStart)})
+	l.obs.Observe(observe.RunFinished{
+		Clauses:            def.Len(),
+		ClausesConsidered:  report.ClausesConsidered,
+		UncoveredPositives: report.UncoveredPositives,
+		Duration:           report.Duration,
+	})
 	return def, report, nil
 }
 
 // groundAll builds ground bottom clauses for a slice of examples.
-func (l *Learner) groundAll(builder *bottomclause.Builder, examples []relation.Tuple) ([]logic.Clause, error) {
+func (l *Learner) groundAll(ctx context.Context, builder *bottomclause.Builder, examples []relation.Tuple) ([]logic.Clause, error) {
 	out := make([]logic.Clause, len(examples))
 	for i, e := range examples {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		g, err := builder.GroundBottomClause(e)
 		if err != nil {
 			return nil, err
@@ -299,14 +383,14 @@ func (l *Learner) groundAll(builder *bottomclause.Builder, examples []relation.T
 // scoreOnUncovered scores a clause counting only the still-uncovered
 // positive examples (the covering algorithm's progress measure) and all
 // negative examples.
-func (l *Learner) scoreOnUncovered(eval *coverage.Evaluator, c logic.Clause, posEx []*coverage.Example, uncovered []int, negEx []*coverage.Example) coverage.Score {
+func (l *Learner) scoreOnUncovered(ctx context.Context, eval *coverage.Evaluator, c logic.Clause, posEx []*coverage.Example, uncovered []int, negEx []*coverage.Example) coverage.Score {
 	pool := make([]*coverage.Example, len(uncovered))
 	for i, idx := range uncovered {
 		pool[i] = posEx[idx]
 	}
 	return coverage.Score{
-		PositivesCovered: eval.CountPositiveExamples(c, pool),
-		NegativesCovered: eval.CountNegativeExamples(c, negEx),
+		PositivesCovered: eval.CountPositiveExamples(ctx, c, pool),
+		NegativesCovered: eval.CountNegativeExamples(ctx, c, negEx),
 	}
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"dlearn/internal/bottomclause"
 	"dlearn/internal/coverage"
 	"dlearn/internal/logic"
@@ -33,18 +35,34 @@ func NewModel(def *logic.Definition, p Problem, cfg Config) *Model {
 
 // Predict reports whether the model classifies the example as positive.
 func (m *Model) Predict(example relation.Tuple) (bool, error) {
+	return m.PredictContext(context.Background(), example)
+}
+
+// PredictContext is Predict with cancellation: a cancelled prediction
+// returns ctx.Err().
+func (m *Model) PredictContext(ctx context.Context, example relation.Tuple) (bool, error) {
 	g, err := m.builder.GroundBottomClause(example)
 	if err != nil {
 		return false, err
 	}
-	return m.eval.DefinitionCovers(m.Definition, g), nil
+	covered := m.eval.DefinitionCoversContext(ctx, m.Definition, g)
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return covered, nil
 }
 
 // PredictAll classifies a batch of examples.
 func (m *Model) PredictAll(examples []relation.Tuple) ([]bool, error) {
+	return m.PredictAllContext(context.Background(), examples)
+}
+
+// PredictAllContext classifies a batch of examples, stopping early when the
+// context is cancelled.
+func (m *Model) PredictAllContext(ctx context.Context, examples []relation.Tuple) ([]bool, error) {
 	out := make([]bool, len(examples))
 	for i, e := range examples {
-		p, err := m.Predict(e)
+		p, err := m.PredictContext(ctx, e)
 		if err != nil {
 			return nil, err
 		}
@@ -55,9 +73,17 @@ func (m *Model) PredictAll(examples []relation.Tuple) ([]bool, error) {
 
 // LearnModel is a convenience wrapper: learn a definition for the problem
 // and wrap it in a Model for prediction.
+//
+// Deprecated: use LearnModelContext, which honours cancellation.
 func LearnModel(p Problem, cfg Config) (*Model, *Report, error) {
+	return LearnModelContext(context.Background(), p, cfg)
+}
+
+// LearnModelContext learns a definition under the context and wraps it in a
+// Model for prediction.
+func LearnModelContext(ctx context.Context, p Problem, cfg Config) (*Model, *Report, error) {
 	learner := NewLearner(cfg)
-	def, report, err := learner.Learn(p)
+	def, report, err := learner.LearnContext(ctx, p)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,75 @@
+package coverage
+
+import (
+	"context"
+	"testing"
+
+	"dlearn/internal/logic"
+)
+
+// simpleGround builds a small ground bottom clause for the worker-pool
+// cancellation tests.
+func simpleGround(genre string) logic.Clause {
+	id := logic.Const("m1")
+	title := logic.Const("Superbad")
+	return logic.NewClause(
+		logic.Rel("highGrossing", title),
+		logic.Rel("movies", id, title),
+		logic.Rel("mov2genres", id, logic.Const(genre)),
+	)
+}
+
+func simpleClause() logic.Clause {
+	x, y := logic.Var("x"), logic.Var("y")
+	return logic.NewClause(
+		logic.Rel("highGrossing", x),
+		logic.Rel("movies", y, x),
+		logic.Rel("mov2genres", y, logic.Const("comedy")),
+	)
+}
+
+func TestWorkerPoolHonorsCancellation(t *testing.T) {
+	e := NewEvaluator(Options{Threads: 4})
+	grounds := make([]logic.Clause, 32)
+	for i := range grounds {
+		grounds[i] = simpleGround("comedy")
+	}
+	exs := e.NewExamples(context.Background(), grounds)
+
+	if got := e.CountPositiveExamples(context.Background(), simpleClause(), exs); got != len(exs) {
+		t.Fatalf("uncancelled count = %d, want %d", got, len(exs))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A cancelled batch must drain without scoring: every worker skips its
+	// items, so nothing is counted.
+	if got := e.CountPositiveExamples(ctx, simpleClause(), exs); got != 0 {
+		t.Errorf("cancelled count = %d, want 0", got)
+	}
+	if got := e.CountNegativeExamples(ctx, simpleClause(), exs); got != 0 {
+		t.Errorf("cancelled negative count = %d, want 0", got)
+	}
+	if got := e.CoveredPositiveExamples(ctx, simpleClause(), exs); len(got) != 0 {
+		t.Errorf("cancelled covered-set = %v, want empty", got)
+	}
+}
+
+func TestNewExamplesCancelledHasNoNilEntries(t *testing.T) {
+	e := NewEvaluator(Options{Threads: 4})
+	grounds := make([]logic.Clause, 16)
+	for i := range grounds {
+		grounds[i] = simpleGround("drama")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	exs := e.NewExamples(ctx, grounds)
+	if len(exs) != len(grounds) {
+		t.Fatalf("NewExamples returned %d entries for %d grounds", len(exs), len(grounds))
+	}
+	for i, ex := range exs {
+		if ex == nil {
+			t.Fatalf("entry %d is nil after cancellation", i)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package coverage
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -74,7 +75,13 @@ func (e *Evaluator) Threads() int { return e.threads }
 //     example is covered iff every resulting clause of c subsumes at least
 //     one resulting clause of ge.
 func (e *Evaluator) CoversPositive(c, ge logic.Clause) bool {
-	if ok, _ := e.checker.Subsumes(c, ge); ok {
+	return e.CoversPositiveContext(context.Background(), c, ge)
+}
+
+// CoversPositiveContext is CoversPositive with cancellation; a cancelled
+// test conservatively reports no coverage (callers check ctx.Err()).
+func (e *Evaluator) CoversPositiveContext(ctx context.Context, c, ge logic.Clause) bool {
+	if ok, _ := e.checker.SubsumesContext(ctx, c, ge); ok {
 		return true
 	}
 	if !clauseHasCFDRepairs(c) && !clauseHasCFDRepairs(ge) {
@@ -84,18 +91,18 @@ func (e *Evaluator) CoversPositive(c, ge logic.Clause) bool {
 	}
 	cmd := e.stripCached(c)
 	gmd := e.stripCached(ge)
-	if ok, _ := e.checker.Subsumes(cmd, gmd); !ok {
+	if ok, _ := e.checker.SubsumesContext(ctx, cmd, gmd); !ok {
 		return false
 	}
-	cExp := e.expandCFD(c)
-	geExp := e.expandCFD(ge)
+	cExp := e.expandCFD(ctx, c)
+	geExp := e.expandCFD(ctx, ge)
 	if len(cExp) == 0 || len(geExp) == 0 {
 		return false
 	}
 	for _, ce := range cExp {
 		matched := false
 		for _, g := range geExp {
-			if ok, _ := e.checker.Subsumes(ce, g); ok {
+			if ok, _ := e.checker.SubsumesContext(ctx, ce, g); ok {
 				matched = true
 				break
 			}
@@ -112,11 +119,16 @@ func (e *Evaluator) CoversPositive(c, ge logic.Clause) bool {
 // c covers the example iff some repaired clause of c θ-subsumes some
 // repaired clause of ge.
 func (e *Evaluator) CoversNegative(c, ge logic.Clause) bool {
-	cReps := e.repairedCached(c)
-	geReps := e.repairedCached(ge)
+	return e.CoversNegativeContext(context.Background(), c, ge)
+}
+
+// CoversNegativeContext is CoversNegative with cancellation.
+func (e *Evaluator) CoversNegativeContext(ctx context.Context, c, ge logic.Clause) bool {
+	cReps := e.repairedCached(ctx, c)
+	geReps := e.repairedCached(ctx, ge)
 	for _, cr := range cReps {
 		for _, gr := range geReps {
-			if ok, _ := e.checker.SubsumesPlain(cr, gr); ok {
+			if ok, _ := e.checker.SubsumesPlainContext(ctx, cr, gr); ok {
 				return true
 			}
 		}
@@ -125,8 +137,9 @@ func (e *Evaluator) CoversNegative(c, ge logic.Clause) bool {
 }
 
 // expandCFD applies only the CFD repair groups of a clause, leaving MD
-// repair literals in place. Results are memoized.
-func (e *Evaluator) expandCFD(c logic.Clause) []logic.Clause {
+// repair literals in place. Results are memoized; an expansion truncated by
+// cancellation is returned but never cached.
+func (e *Evaluator) expandCFD(ctx context.Context, c logic.Clause) []logic.Clause {
 	key := c.Key()
 	e.mu.Lock()
 	if cached, ok := e.cfdCache[key]; ok {
@@ -136,15 +149,19 @@ func (e *Evaluator) expandCFD(c logic.Clause) []logic.Clause {
 	e.mu.Unlock()
 	opts := e.repOpts
 	opts.Origin = logic.OriginCFD
-	out := repair.RepairedClauses(c, opts)
+	out := repair.RepairedClausesContext(ctx, c, opts)
+	if ctx.Err() != nil {
+		return out
+	}
 	e.mu.Lock()
 	e.cfdCache[key] = out
 	e.mu.Unlock()
 	return out
 }
 
-// repairedCached memoizes full repaired-clause expansion.
-func (e *Evaluator) repairedCached(c logic.Clause) []logic.Clause {
+// repairedCached memoizes full repaired-clause expansion. An expansion
+// truncated by cancellation is returned but never cached.
+func (e *Evaluator) repairedCached(ctx context.Context, c logic.Clause) []logic.Clause {
 	key := c.Key()
 	e.mu.Lock()
 	if cached, ok := e.repCache[key]; ok {
@@ -152,7 +169,10 @@ func (e *Evaluator) repairedCached(c logic.Clause) []logic.Clause {
 		return cached
 	}
 	e.mu.Unlock()
-	out := repair.RepairedClauses(c, e.repOpts)
+	out := repair.RepairedClausesContext(ctx, c, e.repOpts)
+	if ctx.Err() != nil {
+		return out
+	}
 	e.mu.Lock()
 	e.repCache[key] = out
 	e.mu.Unlock()
@@ -275,35 +295,9 @@ func (e *Evaluator) countParallel(grounds []logic.Clause, pred func(logic.Clause
 
 func (e *Evaluator) maskParallel(grounds []logic.Clause, pred func(logic.Clause) bool) []bool {
 	mask := make([]bool, len(grounds))
-	if len(grounds) == 0 {
-		return mask
-	}
-	workers := e.threads
-	if workers > len(grounds) {
-		workers = len(grounds)
-	}
-	if workers <= 1 {
-		for i, g := range grounds {
-			mask[i] = pred(g)
-		}
-		return mask
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, len(grounds))
-	for i := range grounds {
-		next <- i
-	}
-	close(next)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				mask[i] = pred(grounds[i])
-			}
-		}()
-	}
-	wg.Wait()
+	e.forEachParallel(context.Background(), len(grounds), func(i int) {
+		mask[i] = pred(grounds[i])
+	})
 	return mask
 }
 
@@ -311,8 +305,14 @@ func (e *Evaluator) maskParallel(grounds []logic.Clause, pred func(logic.Clause)
 // (positive-style) example with ground bottom clause ge. It is the
 // prediction rule used when evaluating a learned definition on test data.
 func (e *Evaluator) DefinitionCovers(d *logic.Definition, ge logic.Clause) bool {
+	return e.DefinitionCoversContext(context.Background(), d, ge)
+}
+
+// DefinitionCoversContext is DefinitionCovers with cancellation; a cancelled
+// test conservatively reports no coverage (callers check ctx.Err()).
+func (e *Evaluator) DefinitionCoversContext(ctx context.Context, d *logic.Definition, ge logic.Clause) bool {
 	for _, c := range d.Clauses {
-		if e.CoversPositive(c, ge) {
+		if e.CoversPositiveContext(ctx, c, ge) {
 			return true
 		}
 	}

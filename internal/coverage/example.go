@@ -1,6 +1,8 @@
 package coverage
 
 import (
+	"context"
+
 	"dlearn/internal/logic"
 	"dlearn/internal/repair"
 	"dlearn/internal/subsumption"
@@ -24,7 +26,7 @@ type Example struct {
 }
 
 // NewExample prepares a ground bottom clause for repeated coverage tests.
-func (e *Evaluator) NewExample(ground logic.Clause) *Example {
+func (e *Evaluator) NewExample(ctx context.Context, ground logic.Clause) *Example {
 	ex := &Example{
 		Ground: ground,
 		hasCFD: clauseHasCFDRepairs(ground),
@@ -33,68 +35,61 @@ func (e *Evaluator) NewExample(ground logic.Clause) *Example {
 	ex.stripped = e.checker.Prepare(StripCFDConnected(ground))
 	cfdOpts := e.repOpts
 	cfdOpts.Origin = logic.OriginCFD
-	for _, c := range repair.RepairedClauses(ground, cfdOpts) {
+	for _, c := range repair.RepairedClausesContext(ctx, ground, cfdOpts) {
 		ex.cfdExp = append(ex.cfdExp, e.checker.Prepare(c))
 	}
-	for _, c := range repair.RepairedClauses(ground, e.repOpts) {
+	for _, c := range repair.RepairedClausesContext(ctx, ground, e.repOpts) {
 		ex.repaired = append(ex.repaired, e.checker.Prepare(c))
 	}
 	return ex
 }
 
-// NewExamples prepares a batch of ground bottom clauses in parallel.
-func (e *Evaluator) NewExamples(grounds []logic.Clause) []*Example {
+// NewExamples prepares a batch of ground bottom clauses in parallel. When
+// ctx is cancelled, remaining examples are still allocated (so the result
+// has no nil entries) but their expensive expansions are skipped; the caller
+// is expected to check ctx.Err() and abandon the batch.
+func (e *Evaluator) NewExamples(ctx context.Context, grounds []logic.Clause) []*Example {
 	out := make([]*Example, len(grounds))
-	if len(grounds) == 0 {
-		return out
-	}
-	jobs := make(chan int, len(grounds))
-	for i := range grounds {
-		jobs <- i
-	}
-	close(jobs)
-	done := make(chan struct{})
-	workers := e.threads
-	if workers > len(grounds) {
-		workers = len(grounds)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range jobs {
-				out[i] = e.NewExample(grounds[i])
+	e.forEachParallel(ctx, len(grounds), func(i int) {
+		out[i] = e.NewExample(ctx, grounds[i])
+	})
+	// A cancelled pool leaves entries unprocessed. Fill them with stubs so
+	// the no-nil-entries invariant holds for callers that look before
+	// checking ctx.Err(); the batch is being abandoned, so the stubs only
+	// have to answer conservatively (no coverage), never correctly, which
+	// keeps the fill O(1) per entry instead of preparing the real clause.
+	var empty *subsumption.Prepared
+	for i := range out {
+		if out[i] == nil {
+			if empty == nil {
+				empty = e.checker.Prepare(logic.Clause{})
 			}
-			done <- struct{}{}
-		}()
-	}
-	for w := 0; w < workers; w++ {
-		<-done
+			out[i] = &Example{Ground: grounds[i], prep: empty, stripped: empty}
+		}
 	}
 	return out
 }
 
 // CoversPositiveExample is CoversPositive against a prepared example.
-func (e *Evaluator) CoversPositiveExample(c logic.Clause, ex *Example) bool {
-	if ok, _ := ex.prep.Subsumes(c); ok {
+func (e *Evaluator) CoversPositiveExample(ctx context.Context, c logic.Clause, ex *Example) bool {
+	if ok, _ := ex.prep.SubsumesContext(ctx, c); ok {
 		return true
 	}
 	if !clauseHasCFDRepairs(c) && !ex.hasCFD {
 		return false
 	}
 	cmd := e.stripCached(c)
-	if ok, _ := ex.stripped.Subsumes(cmd); !ok {
+	if ok, _ := ex.stripped.SubsumesContext(ctx, cmd); !ok {
 		return false
 	}
-	cExp := e.expandCFD(c)
+	cExp := e.expandCFD(ctx, c)
 	if len(cExp) == 0 || len(ex.cfdExp) == 0 {
 		return false
 	}
 	for _, ce := range cExp {
 		matched := false
 		for _, g := range ex.cfdExp {
-			if ok, _ := g.Subsumes(ce); ok {
+			if ok, _ := g.SubsumesContext(ctx, ce); ok {
 				matched = true
 				break
 			}
@@ -107,11 +102,11 @@ func (e *Evaluator) CoversPositiveExample(c logic.Clause, ex *Example) bool {
 }
 
 // CoversNegativeExample is CoversNegative against a prepared example.
-func (e *Evaluator) CoversNegativeExample(c logic.Clause, ex *Example) bool {
-	cReps := e.repairedCached(c)
+func (e *Evaluator) CoversNegativeExample(ctx context.Context, c logic.Clause, ex *Example) bool {
+	cReps := e.repairedCached(ctx, c)
 	for _, cr := range cReps {
 		for _, gr := range ex.repaired {
-			if ok, _ := gr.SubsumesPlain(cr); ok {
+			if ok, _ := gr.SubsumesPlainContext(ctx, cr); ok {
 				return true
 			}
 		}
@@ -121,28 +116,28 @@ func (e *Evaluator) CoversNegativeExample(c logic.Clause, ex *Example) bool {
 
 // CountPositiveExamples counts the prepared examples covered as positives,
 // in parallel.
-func (e *Evaluator) CountPositiveExamples(c logic.Clause, exs []*Example) int {
-	return e.countParallelExamples(exs, func(ex *Example) bool { return e.CoversPositiveExample(c, ex) })
+func (e *Evaluator) CountPositiveExamples(ctx context.Context, c logic.Clause, exs []*Example) int {
+	return e.countParallelExamples(ctx, exs, func(ex *Example) bool { return e.CoversPositiveExample(ctx, c, ex) })
 }
 
 // CountNegativeExamples counts the prepared examples covered as negatives,
 // in parallel.
-func (e *Evaluator) CountNegativeExamples(c logic.Clause, exs []*Example) int {
-	return e.countParallelExamples(exs, func(ex *Example) bool { return e.CoversNegativeExample(c, ex) })
+func (e *Evaluator) CountNegativeExamples(ctx context.Context, c logic.Clause, exs []*Example) int {
+	return e.countParallelExamples(ctx, exs, func(ex *Example) bool { return e.CoversNegativeExample(ctx, c, ex) })
 }
 
 // ScoreClauseExamples computes a clause's score over prepared examples.
-func (e *Evaluator) ScoreClauseExamples(c logic.Clause, pos, neg []*Example) Score {
+func (e *Evaluator) ScoreClauseExamples(ctx context.Context, c logic.Clause, pos, neg []*Example) Score {
 	return Score{
-		PositivesCovered: e.CountPositiveExamples(c, pos),
-		NegativesCovered: e.CountNegativeExamples(c, neg),
+		PositivesCovered: e.CountPositiveExamples(ctx, c, pos),
+		NegativesCovered: e.CountNegativeExamples(ctx, c, neg),
 	}
 }
 
 // CoveredPositiveExamples returns the indices of the prepared positive
 // examples covered by the clause.
-func (e *Evaluator) CoveredPositiveExamples(c logic.Clause, exs []*Example) []int {
-	mask := e.maskParallelExamples(exs, func(ex *Example) bool { return e.CoversPositiveExample(c, ex) })
+func (e *Evaluator) CoveredPositiveExamples(ctx context.Context, c logic.Clause, exs []*Example) []int {
+	mask := e.maskParallelExamples(ctx, exs, func(ex *Example) bool { return e.CoversPositiveExample(ctx, c, ex) })
 	var out []int
 	for i, b := range mask {
 		if b {
@@ -154,17 +149,17 @@ func (e *Evaluator) CoveredPositiveExamples(c logic.Clause, exs []*Example) []in
 
 // DefinitionCoversExample reports whether any clause of the definition
 // covers the prepared example.
-func (e *Evaluator) DefinitionCoversExample(d *logic.Definition, ex *Example) bool {
+func (e *Evaluator) DefinitionCoversExample(ctx context.Context, d *logic.Definition, ex *Example) bool {
 	for _, c := range d.Clauses {
-		if e.CoversPositiveExample(c, ex) {
+		if e.CoversPositiveExample(ctx, c, ex) {
 			return true
 		}
 	}
 	return false
 }
 
-func (e *Evaluator) countParallelExamples(exs []*Example, pred func(*Example) bool) int {
-	mask := e.maskParallelExamples(exs, pred)
+func (e *Evaluator) countParallelExamples(ctx context.Context, exs []*Example, pred func(*Example) bool) int {
+	mask := e.maskParallelExamples(ctx, exs, pred)
 	n := 0
 	for _, b := range mask {
 		if b {
@@ -174,28 +169,37 @@ func (e *Evaluator) countParallelExamples(exs []*Example, pred func(*Example) bo
 	return n
 }
 
-func (e *Evaluator) maskParallelExamples(exs []*Example, pred func(*Example) bool) []bool {
-	grounds := make([]logic.Clause, len(exs))
-	for i, ex := range exs {
-		grounds[i] = ex.Ground
-	}
-	// Reuse the generic worker pool, dispatching on index.
+func (e *Evaluator) maskParallelExamples(ctx context.Context, exs []*Example, pred func(*Example) bool) []bool {
 	mask := make([]bool, len(exs))
-	if len(exs) == 0 {
-		return mask
+	e.forEachParallel(ctx, len(exs), func(i int) {
+		mask[i] = pred(exs[i])
+	})
+	return mask
+}
+
+// forEachParallel runs fn(i) for i in [0, n) on the evaluator's worker pool.
+// Workers poll ctx between items and skip the remaining work once it is
+// cancelled, so a cancelled batch drains promptly instead of finishing every
+// queued coverage test.
+func (e *Evaluator) forEachParallel(ctx context.Context, n int, fn func(i int)) {
+	if n == 0 {
+		return
 	}
 	workers := e.threads
-	if workers > len(exs) {
-		workers = len(exs)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		for i, ex := range exs {
-			mask[i] = pred(ex)
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(i)
 		}
-		return mask
+		return
 	}
-	jobs := make(chan int, len(exs))
-	for i := range exs {
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
 		jobs <- i
 	}
 	close(jobs)
@@ -203,7 +207,10 @@ func (e *Evaluator) maskParallelExamples(exs []*Example, pred func(*Example) boo
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range jobs {
-				mask[i] = pred(exs[i])
+				if ctx.Err() != nil {
+					break
+				}
+				fn(i)
 			}
 			done <- struct{}{}
 		}()
@@ -211,5 +218,4 @@ func (e *Evaluator) maskParallelExamples(exs []*Example, pred func(*Example) boo
 	for w := 0; w < workers; w++ {
 		<-done
 	}
-	return mask
 }

@@ -1,0 +1,150 @@
+// Package observe defines the event stream a learning run emits and the
+// Observer interface consumers implement to watch it. The covering learner
+// publishes one event per phase transition, covering-loop iteration,
+// hill-climbing step and clause decision, so CLI tools, benchmarks and
+// services can report progress without the learner printing anything itself.
+//
+// Observers are invoked synchronously from the learner goroutine; they must
+// be fast and must not block. Implementations that aggregate across
+// concurrent runs must be safe for concurrent use.
+package observe
+
+import "time"
+
+// Phase names reported by PhaseDone events.
+const (
+	// PhaseBottomClauses is the construction of ground bottom clauses for
+	// every training example (Section 4.1 of the paper).
+	PhaseBottomClauses = "bottom-clauses"
+	// PhaseCovering is the covering loop: seed selection, hill-climbing
+	// generalization and acceptance testing (Algorithm 1).
+	PhaseCovering = "covering"
+)
+
+// Event is one observation from a learning run. The concrete types below are
+// the only implementations.
+type Event interface{ isEvent() }
+
+// RunStarted is emitted once, after the problem has been validated.
+type RunStarted struct {
+	// Target is the target relation name.
+	Target string
+	// Positives and Negatives are the training-set sizes.
+	Positives, Negatives int
+}
+
+// PhaseDone is emitted when a named phase of the run completes.
+type PhaseDone struct {
+	// Phase is one of the Phase* constants.
+	Phase string
+	// Duration is the phase's wall-clock time.
+	Duration time.Duration
+}
+
+// IterationStarted is emitted at the top of each covering-loop iteration.
+type IterationStarted struct {
+	// Iteration counts covering-loop iterations from 1.
+	Iteration int
+	// SeedIndex is the positive-example index used as the seed.
+	SeedIndex int
+	// Uncovered is the number of positive examples not yet covered.
+	Uncovered int
+}
+
+// CoverageProgress is emitted after each hill-climbing step with the running
+// candidate count and the best score found so far in this iteration.
+type CoverageProgress struct {
+	Iteration int
+	// ClausesConsidered is the cumulative number of candidates scored.
+	ClausesConsidered int
+	// BestPositives and BestNegatives are the coverage counts of the current
+	// best candidate of this iteration.
+	BestPositives, BestNegatives int
+}
+
+// ClauseAccepted is emitted when an iteration's best clause passes the
+// acceptance test and joins the definition.
+type ClauseAccepted struct {
+	Iteration int
+	// Clause is the accepted clause, rendered.
+	Clause string
+	// Positives and Negatives are the clause's coverage over the full
+	// training set.
+	Positives, Negatives int
+	// Uncovered is the number of positive examples still uncovered after
+	// accepting the clause.
+	Uncovered int
+}
+
+// ClauseRejected is emitted when an iteration's best clause fails the
+// acceptance test; its seed example is abandoned.
+type ClauseRejected struct {
+	Iteration int
+	// Clause is the rejected clause, rendered.
+	Clause string
+	// Positives and Negatives are the clause's coverage over the full
+	// training set.
+	Positives, Negatives int
+}
+
+// RunFinished is emitted once, just before Learn returns successfully.
+type RunFinished struct {
+	// Clauses is the size of the learned definition.
+	Clauses int
+	// ClausesConsidered is the total number of candidates scored.
+	ClausesConsidered int
+	// UncoveredPositives is the number of positive examples the definition
+	// does not cover.
+	UncoveredPositives int
+	// Duration is the whole run's wall-clock time.
+	Duration time.Duration
+}
+
+func (RunStarted) isEvent()       {}
+func (PhaseDone) isEvent()        {}
+func (IterationStarted) isEvent() {}
+func (CoverageProgress) isEvent() {}
+func (ClauseAccepted) isEvent()   {}
+func (ClauseRejected) isEvent()   {}
+func (RunFinished) isEvent()      {}
+
+// Observer receives the events of a learning run.
+type Observer interface {
+	Observe(Event)
+}
+
+// Func adapts a function to the Observer interface.
+type Func func(Event)
+
+// Observe calls f.
+func (f Func) Observe(e Event) { f(e) }
+
+// Discard is an Observer that drops every event.
+var Discard Observer = Func(func(Event) {})
+
+// multi fans one event stream out to several observers in order.
+type multi []Observer
+
+func (m multi) Observe(e Event) {
+	for _, o := range m {
+		o.Observe(e)
+	}
+}
+
+// Multi combines observers into one that forwards every event to each of
+// them in order. Nil observers are skipped; Multi() returns Discard.
+func Multi(obs ...Observer) Observer {
+	var out multi
+	for _, o := range obs {
+		if o != nil {
+			out = append(out, o)
+		}
+	}
+	if len(out) == 0 {
+		return Discard
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package observe
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFuncAdapter(t *testing.T) {
+	var got Event
+	Func(func(e Event) { got = e }).Observe(RunStarted{Target: "t", Positives: 3})
+	rs, ok := got.(RunStarted)
+	if !ok || rs.Target != "t" || rs.Positives != 3 {
+		t.Errorf("Func adapter delivered %+v", got)
+	}
+}
+
+func TestMultiSkipsNilAndPreservesOrder(t *testing.T) {
+	var order []int
+	obs := Multi(
+		nil,
+		Func(func(Event) { order = append(order, 1) }),
+		Func(func(Event) { order = append(order, 2) }),
+	)
+	obs.Observe(PhaseDone{Phase: PhaseCovering, Duration: time.Second})
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("fan-out order = %v", order)
+	}
+}
+
+func TestMultiEmptyIsDiscard(t *testing.T) {
+	// Multi() collapses to a discard observer that accepts every event
+	// without panicking, as must Discard itself.
+	Multi().Observe(RunStarted{})
+	for _, e := range []Event{
+		RunStarted{}, PhaseDone{}, IterationStarted{}, CoverageProgress{},
+		ClauseAccepted{}, ClauseRejected{}, RunFinished{},
+	} {
+		Discard.Observe(e)
+	}
+}

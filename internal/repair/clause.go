@@ -17,6 +17,7 @@
 package repair
 
 import (
+	"context"
 	"sort"
 
 	"dlearn/internal/logic"
@@ -358,6 +359,14 @@ func normalizeEqualities(c logic.Clause) logic.Clause {
 // Options caps). A clause without repair literals repairs to itself (after
 // the standard clean-up).
 func RepairedClauses(c logic.Clause, opts Options) []logic.Clause {
+	return RepairedClausesContext(context.Background(), c, opts)
+}
+
+// RepairedClausesContext is RepairedClauses with cancellation: when ctx is
+// cancelled the expansion stops exploring and returns the (possibly
+// incomplete) set found so far. Callers that must distinguish a complete
+// expansion from a truncated one check ctx.Err() afterwards.
+func RepairedClausesContext(ctx context.Context, c logic.Clause, opts Options) []logic.Clause {
 	type state struct {
 		clause logic.Clause
 	}
@@ -369,6 +378,10 @@ func RepairedClauses(c logic.Clause, opts Options) []logic.Clause {
 	var explore func(s state)
 	explore = func(s state) {
 		if len(results) >= maxClauses || statesExplored >= maxStates {
+			return
+		}
+		if statesExplored%64 == 0 && ctx.Err() != nil {
+			statesExplored = maxStates
 			return
 		}
 		statesExplored++

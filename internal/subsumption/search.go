@@ -1,6 +1,8 @@
 package subsumption
 
 import (
+	"context"
+
 	"dlearn/internal/logic"
 )
 
@@ -30,7 +32,16 @@ type compiled struct {
 	skipRepairClosure bool
 	maxNodes          int
 	nodes             int
+
+	// ctx cancels the search: the node loop polls it periodically and a
+	// cancelled search reports "does not subsume", exactly like an exhausted
+	// node budget.
+	ctx context.Context
 }
+
+// ctxPollInterval is how many search nodes are explored between context
+// polls; polling every node would dominate small searches.
+const ctxPollInterval = 256
 
 // Prepared is the preprocessed subsumed-clause side of θ-subsumption: its
 // literals indexed by predicate, its equality closure and similarity pairs,
@@ -83,19 +94,30 @@ func (ch *Checker) Prepare(d logic.Clause) *Prepared {
 // Subsumes reports whether c θ-subsumes the prepared clause under
 // Definition 4.4.
 func (p *Prepared) Subsumes(c logic.Clause) (bool, logic.Substitution) {
+	return p.SubsumesContext(context.Background(), c)
+}
+
+// SubsumesContext is Subsumes with cancellation: when ctx is cancelled the
+// search stops at the next poll and reports no subsumption.
+func (p *Prepared) SubsumesContext(ctx context.Context, c logic.Clause) (bool, logic.Substitution) {
 	if c.Head.Pred != p.d.Head.Pred || len(c.Head.Args) != len(p.d.Head.Args) {
 		return false, nil
 	}
-	return compileAgainst(c, p, false).run()
+	return compileAgainst(ctx, c, p, false).run()
 }
 
 // SubsumesPlain reports whether c θ-subsumes the prepared clause, ignoring
 // the repair-literal closure requirement.
 func (p *Prepared) SubsumesPlain(c logic.Clause) (bool, logic.Substitution) {
+	return p.SubsumesPlainContext(context.Background(), c)
+}
+
+// SubsumesPlainContext is SubsumesPlain with cancellation.
+func (p *Prepared) SubsumesPlainContext(ctx context.Context, c logic.Clause) (bool, logic.Substitution) {
 	if c.Head.Pred != p.d.Head.Pred || len(c.Head.Args) != len(p.d.Head.Args) {
 		return false, nil
 	}
-	return compileAgainst(c, p, true).run()
+	return compileAgainst(ctx, c, p, true).run()
 }
 
 // compiledLit is one relation or repair literal of c with its candidate
@@ -125,19 +147,20 @@ type binding struct {
 	bound []bool
 }
 
-func (ch *Checker) compile(c, d logic.Clause, skipClosure bool) *compiled {
-	return compileAgainst(c, ch.Prepare(d), skipClosure)
+func (ch *Checker) compile(ctx context.Context, c, d logic.Clause, skipClosure bool) *compiled {
+	return compileAgainst(ctx, c, ch.Prepare(d), skipClosure)
 }
 
 // compileAgainst compiles the c-side of a subsumption problem against an
 // already prepared d-side.
-func compileAgainst(c logic.Clause, prep *Prepared, skipClosure bool) *compiled {
+func compileAgainst(ctx context.Context, c logic.Clause, prep *Prepared, skipClosure bool) *compiled {
 	e := &compiled{
 		c: c, d: prep.d,
 		varIndex:          make(map[string]int),
 		prep:              prep,
 		skipRepairClosure: skipClosure,
 		maxNodes:          prep.maxNodes,
+		ctx:               ctx,
 	}
 	termOf := func(t logic.Term) compiledTerm {
 		if t.IsConst() {
@@ -312,6 +335,12 @@ func (e *compiled) run() (bool, logic.Substitution) {
 
 func (e *compiled) search(b binding, k int, mapped map[int]int) bool {
 	if e.nodes >= e.maxNodes {
+		return false
+	}
+	if e.nodes%ctxPollInterval == 0 && e.ctx.Err() != nil {
+		// Cancelled: abandon the search by exhausting the node budget so
+		// every ancestor frame unwinds without finding a match.
+		e.nodes = e.maxNodes
 		return false
 	}
 	e.nodes++

@@ -12,6 +12,8 @@
 package subsumption
 
 import (
+	"context"
+
 	"dlearn/internal/logic"
 )
 
@@ -49,20 +51,32 @@ func New(opts Options) *Checker { return &Checker{Opts: opts} }
 // connected to a mapped literal of d is itself mapped. The substitution is
 // returned when subsumption holds.
 func (ch *Checker) Subsumes(c, d logic.Clause) (bool, logic.Substitution) {
+	return ch.SubsumesContext(context.Background(), c, d)
+}
+
+// SubsumesContext is Subsumes with cancellation: a cancelled search stops at
+// its next poll and reports no subsumption (the same conservative answer an
+// exhausted node budget produces).
+func (ch *Checker) SubsumesContext(ctx context.Context, c, d logic.Clause) (bool, logic.Substitution) {
 	if c.Head.Pred != d.Head.Pred || len(c.Head.Args) != len(d.Head.Args) {
 		return false, nil
 	}
-	return ch.compile(c, d, false).run()
+	return ch.compile(ctx, c, d, false).run()
 }
 
 // SubsumesPlain reports whether c θ-subsumes d ignoring the repair-literal
 // connectivity requirement of Definition 4.4. It is the classical
 // θ-subsumption used between repaired clauses.
 func (ch *Checker) SubsumesPlain(c, d logic.Clause) (bool, logic.Substitution) {
+	return ch.SubsumesPlainContext(context.Background(), c, d)
+}
+
+// SubsumesPlainContext is SubsumesPlain with cancellation.
+func (ch *Checker) SubsumesPlainContext(ctx context.Context, c, d logic.Clause) (bool, logic.Substitution) {
 	if c.Head.Pred != d.Head.Pred || len(c.Head.Args) != len(d.Head.Args) {
 		return false, nil
 	}
-	return ch.compile(c, d, true).run()
+	return ch.compile(ctx, c, d, true).run()
 }
 
 // Equivalent reports whether two clauses are θ-equivalent (each subsumes the

@@ -1,0 +1,119 @@
+package dlearn
+
+import "fmt"
+
+// ProblemBuilder assembles a learning Problem fluently and centralizes its
+// validation: Build reports every structural mistake (missing instance,
+// examples of the wrong relation or arity, ill-formed MDs or CFDs,
+// inconsistent CFD sets) as an error instead of failing later inside Learn.
+//
+//	problem, err := dlearn.NewProblem(target).
+//		OnInstance(db).
+//		WithMDs(md).
+//		Pos(posExamples...).
+//		Neg(negExamples...).
+//		Build()
+type ProblemBuilder struct {
+	p    Problem
+	errs []error
+}
+
+// NewProblem starts building a learning task for the given target relation.
+func NewProblem(target *Relation) *ProblemBuilder {
+	b := &ProblemBuilder{}
+	if target == nil {
+		b.errs = append(b.errs, fmt.Errorf("dlearn: NewProblem needs a target relation"))
+		return b
+	}
+	b.p.Target = target
+	return b
+}
+
+// OnInstance sets the (dirty) database instance the definition is learned
+// over.
+func (b *ProblemBuilder) OnInstance(db *Instance) *ProblemBuilder {
+	if db == nil {
+		b.errs = append(b.errs, fmt.Errorf("dlearn: OnInstance needs a non-nil instance"))
+		return b
+	}
+	b.p.Instance = db
+	return b
+}
+
+// WithMDs appends matching dependencies describing representational
+// heterogeneity across the instance (and the target relation).
+func (b *ProblemBuilder) WithMDs(mds ...MD) *ProblemBuilder {
+	b.p.MDs = append(b.p.MDs, mds...)
+	return b
+}
+
+// WithCFDs appends conditional functional dependencies whose violations mark
+// inconsistencies in the instance.
+func (b *ProblemBuilder) WithCFDs(cfds ...CFD) *ProblemBuilder {
+	b.p.CFDs = append(b.p.CFDs, cfds...)
+	return b
+}
+
+// Pos appends positive training examples (tuples of the target relation).
+func (b *ProblemBuilder) Pos(examples ...Tuple) *ProblemBuilder {
+	b.p.Pos = append(b.p.Pos, examples...)
+	return b
+}
+
+// Neg appends negative training examples (tuples of the target relation).
+func (b *ProblemBuilder) Neg(examples ...Tuple) *ProblemBuilder {
+	b.p.Neg = append(b.p.Neg, examples...)
+	return b
+}
+
+// PosValues appends one positive example given as raw attribute values of
+// the target relation.
+func (b *ProblemBuilder) PosValues(values ...string) *ProblemBuilder {
+	return b.example(true, values)
+}
+
+// NegValues appends one negative example given as raw attribute values of
+// the target relation.
+func (b *ProblemBuilder) NegValues(values ...string) *ProblemBuilder {
+	return b.example(false, values)
+}
+
+func (b *ProblemBuilder) example(positive bool, values []string) *ProblemBuilder {
+	if b.p.Target == nil {
+		// NewProblem already recorded the missing target.
+		return b
+	}
+	t := NewTuple(b.p.Target.Name, values...)
+	if positive {
+		b.p.Pos = append(b.p.Pos, t)
+	} else {
+		b.p.Neg = append(b.p.Neg, t)
+	}
+	return b
+}
+
+// Build validates the assembled problem and returns it. Builder-level
+// mistakes (nil target, nil instance) are reported first; the returned
+// problem otherwise passed the same validation Learn performs.
+func (b *ProblemBuilder) Build() (*Problem, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if b.p.Instance == nil {
+		return nil, fmt.Errorf("dlearn: problem needs an instance; call OnInstance")
+	}
+	if err := b.p.Validate(); err != nil {
+		return nil, err
+	}
+	p := b.p
+	return &p, nil
+}
+
+// MustBuild is Build, panicking on error; for tests and examples.
+func (b *ProblemBuilder) MustBuild() *Problem {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
