@@ -16,7 +16,9 @@
 //	dlearn-bench -exp table4 -json ""   # disable the JSON summary
 //
 // Experiments: table3, table4, table5, table6, table7, fig1left, fig1mid,
-// fig1right, all.
+// fig1right, coverage, all. The coverage experiment is a micro-benchmark of
+// the candidate-evaluation pipeline; its BENCH_coverage.json records the
+// throughput numbers tracked across engine versions.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"slices"
 	"strings"
 	"syscall"
 
@@ -34,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: table3|table4|table5|table6|table7|fig1left|fig1mid|fig1right|all")
+		exp     = flag.String("exp", "all", "experiment to run: table3|table4|table5|table6|table7|fig1left|fig1mid|fig1right|coverage|all")
 		quick   = flag.Bool("quick", false, "shrink datasets and sweeps for a fast smoke run")
 		seed    = flag.Int64("seed", 1, "random seed for data generation and splits")
 		threads = flag.Int("threads", 16, "parallel coverage-testing workers")
@@ -70,15 +73,37 @@ func main() {
 			return err
 		},
 	}
-	order := []string{"table3", "table4", "table5", "table6", "table7", "fig1left", "fig1mid", "fig1right"}
+	order := []string{"table3", "table4", "table5", "table6", "table7", "fig1left", "fig1mid", "fig1right", "coverage"}
 
 	// runOne executes one experiment with a fresh timing collector and, when
-	// enabled, writes its BENCH_<name>.json summary next to the tables.
+	// enabled, writes its BENCH_<name>.json summary next to the tables. The
+	// coverage micro-benchmark produces its own summary shape instead of the
+	// observer-event aggregate.
 	runOne := func(name string) error {
 		o := opts
+		if name == "coverage" {
+			summary, err := bench.RunCoverage(ctx, o)
+			if err != nil {
+				return err
+			}
+			if *jsonDir == "" {
+				return nil
+			}
+			path := filepath.Join(*jsonDir, "BENCH_coverage.json")
+			if err := bench.WriteCoverageJSON(path, summary); err != nil {
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+			fmt.Printf("wrote %s\n", path)
+			return nil
+		}
+		run, ok := runners[name]
+		if !ok {
+			// order and runners diverged; fail with a message, not a nil call.
+			return fmt.Errorf("experiment %q is listed but has no runner", name)
+		}
 		collector := bench.NewTimingCollector()
 		o.Observer = collector
-		if err := runners[name](ctx, o); err != nil {
+		if err := run(ctx, o); err != nil {
 			return err
 		}
 		if *jsonDir == "" {
@@ -103,7 +128,7 @@ func main() {
 		}
 		return
 	}
-	if _, ok := runners[selected]; !ok {
+	if !slices.Contains(order, selected) {
 		fmt.Fprintf(os.Stderr, "dlearn-bench: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)

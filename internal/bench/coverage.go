@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"time"
+
+	"dlearn/internal/bottomclause"
+	"dlearn/internal/coverage"
+	"dlearn/internal/logic"
+)
+
+// CoverageSummary is the machine-readable result of the coverage
+// micro-benchmark: throughput of the candidate-evaluation pipeline (prepared
+// examples, compiled candidates, sharded caches) in full-scoring and
+// floor-bounded batch-scoring modes. It is written to BENCH_coverage.json
+// and tracked across PRs as the perf trajectory of the hottest path.
+type CoverageSummary struct {
+	Experiment  string `json:"experiment"`
+	Seed        int64  `json:"seed"`
+	Threads     int    `json:"threads"`
+	CacheShards int    `json:"cache_shards"`
+
+	Candidates int `json:"candidates"`
+	Positives  int `json:"positives"`
+	Negatives  int `json:"negatives"`
+	Rounds     int `json:"rounds"`
+
+	// PrepareSeconds is the one-off cost of preparing all ground bottom
+	// clauses for repeated probing.
+	PrepareSeconds float64 `json:"prepare_seconds"`
+
+	// Full scoring: every candidate scored over every example per round.
+	FullScoreSeconds    float64 `json:"full_score_seconds"`
+	CoverTestsPerSecond float64 `json:"cover_tests_per_second"`
+
+	// Batch scoring: the same work with the incumbent's score as the floor,
+	// early-exiting candidates that cannot win.
+	BatchScoreSeconds float64 `json:"batch_score_seconds"`
+	BatchEarlyExits   int     `json:"batch_early_exits"`
+	BatchSpeedup      float64 `json:"batch_speedup"`
+}
+
+// coverageScale returns the workload size: candidates, positives, negatives,
+// rounds.
+func (o Options) coverageScale() (int, int, int, int) {
+	if o.Quick {
+		return 4, 10, 16, 2
+	}
+	return 8, 40, 60, 3
+}
+
+// RunCoverage benchmarks the candidate-evaluation pipeline on the IMDB+OMDB
+// dataset with CFD violations: it grounds and prepares the training
+// examples, then repeatedly scores bottom-clause candidates over them, both
+// exhaustively (ScoreClauseExamples) and with floor-bounded early exit
+// (ScoreBatch), and reports the throughput of each mode.
+func RunCoverage(ctx context.Context, o Options) (CoverageSummary, error) {
+	w := o.out()
+	fprintf(w, "Coverage micro-benchmark: candidate evaluation over prepared examples\n")
+
+	nCand, nPos, nNeg, rounds := o.coverageScale()
+	ds, err := o.generate(datasetSpec{key: "imdb3"}, 0.10)
+	if err != nil {
+		return CoverageSummary{}, err
+	}
+	lcfg := o.learnerConfig(2, o.iterationsFor("imdb"), 10)
+	p := ds.Problem
+	builder := bottomclause.NewBuilder(p.Instance, p.Target, p.MDs, p.CFDs, lcfg.BottomClause)
+	eval := coverage.NewEvaluator(coverage.Options{
+		Subsumption: lcfg.Subsumption,
+		Repair:      lcfg.Repair,
+		Threads:     o.Threads,
+		CacheShards: lcfg.EvalCacheShards,
+	})
+
+	if nPos > len(p.Pos) {
+		nPos = len(p.Pos)
+	}
+	if nNeg > len(p.Neg) {
+		nNeg = len(p.Neg)
+	}
+	if nCand > nPos {
+		nCand = nPos
+	}
+	var posG, negG []logic.Clause
+	for _, t := range p.Pos[:nPos] {
+		g, err := builder.GroundBottomClause(t)
+		if err != nil {
+			return CoverageSummary{}, err
+		}
+		posG = append(posG, g)
+	}
+	for _, t := range p.Neg[:nNeg] {
+		g, err := builder.GroundBottomClause(t)
+		if err != nil {
+			return CoverageSummary{}, err
+		}
+		negG = append(negG, g)
+	}
+	var cands []logic.Clause
+	for _, t := range p.Pos[:nCand] {
+		c, err := builder.BottomClause(t)
+		if err != nil {
+			return CoverageSummary{}, err
+		}
+		cands = append(cands, c)
+	}
+
+	prepStart := time.Now()
+	posEx := eval.NewExamples(ctx, posG)
+	negEx := eval.NewExamples(ctx, negG)
+	if err := ctx.Err(); err != nil {
+		return CoverageSummary{}, err
+	}
+	prepare := time.Since(prepStart)
+
+	// Untimed warm-up: populate the candidate/repair/strip caches so the two
+	// timed passes compare scoring strategies, not cache states.
+	for _, c := range cands {
+		eval.ScoreClauseExamples(ctx, c, posEx, negEx)
+	}
+	if err := ctx.Err(); err != nil {
+		return CoverageSummary{}, err
+	}
+
+	// Full scoring: the pre-early-exit workload.
+	fullStart := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, c := range cands {
+			eval.ScoreClauseExamples(ctx, c, posEx, negEx)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return CoverageSummary{}, err
+	}
+	full := time.Since(fullStart)
+
+	// Batch scoring with the incumbent floor, as the hill-climb issues it.
+	earlyExits := 0
+	batchStart := time.Now()
+	for r := 0; r < rounds; r++ {
+		floor := -1 << 30
+		for _, c := range cands {
+			score, exact := eval.ScoreBatch(ctx, c, posEx, negEx, floor)
+			if !exact {
+				earlyExits++
+				continue
+			}
+			if score.Value() > floor {
+				floor = score.Value()
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return CoverageSummary{}, err
+	}
+	batch := time.Since(batchStart)
+
+	tests := float64(rounds) * float64(len(cands)) * float64(len(posEx)+len(negEx))
+	s := CoverageSummary{
+		Experiment:          "coverage",
+		Seed:                o.Seed,
+		Threads:             eval.Threads(),
+		CacheShards:         eval.CacheShards(),
+		Candidates:          len(cands),
+		Positives:           len(posEx),
+		Negatives:           len(negEx),
+		Rounds:              rounds,
+		PrepareSeconds:      prepare.Seconds(),
+		FullScoreSeconds:    full.Seconds(),
+		CoverTestsPerSecond: tests / full.Seconds(),
+		BatchScoreSeconds:   batch.Seconds(),
+		BatchEarlyExits:     earlyExits,
+	}
+	if batch > 0 {
+		s.BatchSpeedup = full.Seconds() / batch.Seconds()
+	}
+	fprintf(w, "  candidates=%d positives=%d negatives=%d rounds=%d threads=%d shards=%d\n",
+		s.Candidates, s.Positives, s.Negatives, s.Rounds, s.Threads, s.CacheShards)
+	fprintf(w, "  prepare=%.3fs  full=%.3fs (%.0f cover tests/s)  batch=%.3fs (%.2fx, %d early exits)\n",
+		s.PrepareSeconds, s.FullScoreSeconds, s.CoverTestsPerSecond, s.BatchScoreSeconds, s.BatchSpeedup, s.BatchEarlyExits)
+	return s, nil
+}
+
+// WriteCoverageJSON writes the coverage summary as indented JSON to path.
+func WriteCoverageJSON(path string, s CoverageSummary) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCoverageSummaryRoundTrip checks the BENCH_coverage.json schema: a
+// summary written by WriteCoverageJSON must unmarshal back to an identical
+// value, so downstream tooling can rely on the field set.
+func TestCoverageSummaryRoundTrip(t *testing.T) {
+	want := CoverageSummary{
+		Experiment:          "coverage",
+		Seed:                7,
+		Threads:             16,
+		CacheShards:         16,
+		Candidates:          8,
+		Positives:           40,
+		Negatives:           60,
+		Rounds:              3,
+		PrepareSeconds:      0.25,
+		FullScoreSeconds:    1.5,
+		CoverTestsPerSecond: 1600,
+		BatchScoreSeconds:   0.9,
+		BatchEarlyExits:     5,
+		BatchSpeedup:        1.67,
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_coverage.json")
+	if err := WriteCoverageJSON(path, want); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got CoverageSummary
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	// The schema keys are part of the trajectory contract; a rename would
+	// silently break comparisons across PRs.
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"experiment", "seed", "threads", "cache_shards",
+		"candidates", "positives", "negatives", "rounds",
+		"prepare_seconds", "full_score_seconds", "cover_tests_per_second",
+		"batch_score_seconds", "batch_early_exits", "batch_speedup",
+	} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("BENCH_coverage.json is missing key %q", key)
+		}
+	}
+}
+
+// TestRunCoverageQuick smoke-tests the micro-benchmark at quick scale.
+func TestRunCoverageQuick(t *testing.T) {
+	o := QuickOptions()
+	o.Out = io.Discard
+	s, err := RunCoverage(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Experiment != "coverage" {
+		t.Errorf("experiment = %q", s.Experiment)
+	}
+	if s.Candidates <= 0 || s.Positives <= 0 || s.Negatives <= 0 {
+		t.Errorf("empty workload: %+v", s)
+	}
+	if s.FullScoreSeconds <= 0 || s.CoverTestsPerSecond <= 0 {
+		t.Errorf("missing timings: %+v", s)
+	}
+}
+
+// TestRunCoverageCancelled checks that a cancelled context aborts the run.
+func TestRunCoverageCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := QuickOptions()
+	o.Out = io.Discard
+	if _, err := RunCoverage(ctx, o); err == nil {
+		t.Fatal("cancelled RunCoverage should return an error")
+	}
+}

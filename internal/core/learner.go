@@ -95,6 +95,9 @@ type Config struct {
 	MaxClauses int
 	// Threads is the worker-pool size for coverage testing.
 	Threads int
+	// EvalCacheShards is the number of lock stripes in the coverage
+	// evaluator's memo tables. Zero means coverage.DefaultCacheShards.
+	EvalCacheShards int
 	// Seed drives every random choice (seed selection, candidate sampling,
 	// and — unless BottomClause.Seed is set explicitly — bottom-clause
 	// tuple sampling). There is no fallback to wall-clock seeding: two runs
@@ -211,6 +214,7 @@ func (l *Learner) LearnContext(ctx context.Context, p Problem) (*logic.Definitio
 		Subsumption: l.cfg.Subsumption,
 		Repair:      l.cfg.Repair,
 		Threads:     l.cfg.Threads,
+		CacheShards: l.cfg.EvalCacheShards,
 	})
 	rng := rand.New(rand.NewSource(l.cfg.Seed))
 
@@ -298,8 +302,11 @@ func (l *Learner) LearnContext(ctx context.Context, p Problem) (*logic.Definitio
 					continue
 				}
 				report.ClausesConsidered++
-				score := l.scoreOnUncovered(ctx, eval, cand, posEx, uncovered, searchNeg)
-				if score.Value() > bestScore.Value() {
+				// Score with the incumbent's value as the floor: the batch
+				// stops as soon as the candidate provably cannot beat it, and
+				// a non-exact result means exactly that, so it is discarded.
+				score, exact := l.scoreOnUncovered(ctx, eval, cand, posEx, uncovered, searchNeg, bestScore.Value())
+				if exact && score.Value() > bestScore.Value() {
 					best, bestScore, improved = cand, score, true
 				}
 			}
@@ -381,17 +388,16 @@ func (l *Learner) groundAll(ctx context.Context, builder *bottomclause.Builder, 
 }
 
 // scoreOnUncovered scores a clause counting only the still-uncovered
-// positive examples (the covering algorithm's progress measure) and all
-// negative examples.
-func (l *Learner) scoreOnUncovered(ctx context.Context, eval *coverage.Evaluator, c logic.Clause, posEx []*coverage.Example, uncovered []int, negEx []*coverage.Example) coverage.Score {
+// positive examples (the covering algorithm's progress measure) and the
+// sampled negative examples, early-exiting once the score cannot exceed the
+// floor. The boolean result reports whether the score is exact (see
+// coverage.ScoreBatch).
+func (l *Learner) scoreOnUncovered(ctx context.Context, eval *coverage.Evaluator, c logic.Clause, posEx []*coverage.Example, uncovered []int, negEx []*coverage.Example, floor int) (coverage.Score, bool) {
 	pool := make([]*coverage.Example, len(uncovered))
 	for i, idx := range uncovered {
 		pool[i] = posEx[idx]
 	}
-	return coverage.Score{
-		PositivesCovered: eval.CountPositiveExamples(ctx, c, pool),
-		NegativesCovered: eval.CountNegativeExamples(ctx, c, negEx),
-	}
+	return eval.ScoreBatch(ctx, c, pool, negEx, floor)
 }
 
 // sampleUncovered picks up to GeneralizationSample uncovered positive

@@ -10,7 +10,6 @@ package coverage
 import (
 	"context"
 	"runtime"
-	"sync"
 
 	"dlearn/internal/logic"
 	"dlearn/internal/repair"
@@ -26,22 +25,26 @@ type Options struct {
 	// Threads is the worker-pool size for batch scoring. Zero means
 	// runtime.NumCPU().
 	Threads int
+	// CacheShards is the number of lock stripes per memo table (rounded up
+	// to a power of two). Zero means DefaultCacheShards.
+	CacheShards int
 }
 
 // Evaluator answers coverage questions. It is safe for concurrent use.
-// Repair-literal expansions and CFD-stripped projections of clauses are
-// memoized (keyed by the clause's canonical key), because the same ground
-// bottom clauses are tested against thousands of candidate clauses during a
-// learning run.
+// Repair-literal expansions, CFD-stripped projections and compiled
+// candidates are memoized in lock-striped caches (keyed by the clause's
+// canonical key), because the same ground bottom clauses are tested against
+// thousands of candidate clauses during a learning run and 16+ workers probe
+// the caches at once.
 type Evaluator struct {
 	checker *subsumption.Checker
 	repOpts repair.Options
 	threads int
 
-	mu         sync.Mutex
-	repCache   map[string][]logic.Clause
-	cfdCache   map[string][]logic.Clause
-	stripCache map[string]logic.Clause
+	repCache   *shardedCache[[]logic.Clause]
+	cfdCache   *shardedCache[[]logic.Clause]
+	stripCache *shardedCache[logic.Clause]
+	candCache  *shardedCache[*subsumption.CompiledCandidate]
 }
 
 // NewEvaluator builds an evaluator.
@@ -54,14 +57,27 @@ func NewEvaluator(opts Options) *Evaluator {
 		checker:    subsumption.New(opts.Subsumption),
 		repOpts:    opts.Repair,
 		threads:    threads,
-		repCache:   make(map[string][]logic.Clause),
-		cfdCache:   make(map[string][]logic.Clause),
-		stripCache: make(map[string]logic.Clause),
+		repCache:   newShardedCache[[]logic.Clause](opts.CacheShards),
+		cfdCache:   newShardedCache[[]logic.Clause](opts.CacheShards),
+		stripCache: newShardedCache[logic.Clause](opts.CacheShards),
+		candCache:  newShardedCache[*subsumption.CompiledCandidate](opts.CacheShards),
 	}
 }
 
 // Threads returns the worker-pool size used for batch scoring.
 func (e *Evaluator) Threads() int { return e.threads }
+
+// CacheShards returns the number of lock stripes per memo table.
+func (e *Evaluator) CacheShards() int { return len(e.repCache.shards) }
+
+// candidateCached returns the compiled (subsuming-side) form of a clause,
+// compiling it on first use. Compiled candidates are immutable and shared by
+// all workers probing prepared examples.
+func (e *Evaluator) candidateCached(c logic.Clause) *subsumption.CompiledCandidate {
+	return e.candCache.getOrCompute(c.Key(), func() *subsumption.CompiledCandidate {
+		return subsumption.CompileCandidate(c)
+	})
+}
 
 // CoversPositive reports whether clause c covers the positive example whose
 // ground bottom clause is ge, following Section 4.3:
@@ -141,21 +157,16 @@ func (e *Evaluator) CoversNegativeContext(ctx context.Context, c, ge logic.Claus
 // cancellation is returned but never cached.
 func (e *Evaluator) expandCFD(ctx context.Context, c logic.Clause) []logic.Clause {
 	key := c.Key()
-	e.mu.Lock()
-	if cached, ok := e.cfdCache[key]; ok {
-		e.mu.Unlock()
+	if cached, ok := e.cfdCache.get(key); ok {
 		return cached
 	}
-	e.mu.Unlock()
 	opts := e.repOpts
 	opts.Origin = logic.OriginCFD
 	out := repair.RepairedClausesContext(ctx, c, opts)
 	if ctx.Err() != nil {
 		return out
 	}
-	e.mu.Lock()
-	e.cfdCache[key] = out
-	e.mu.Unlock()
+	e.cfdCache.set(key, out)
 	return out
 }
 
@@ -163,36 +174,22 @@ func (e *Evaluator) expandCFD(ctx context.Context, c logic.Clause) []logic.Claus
 // truncated by cancellation is returned but never cached.
 func (e *Evaluator) repairedCached(ctx context.Context, c logic.Clause) []logic.Clause {
 	key := c.Key()
-	e.mu.Lock()
-	if cached, ok := e.repCache[key]; ok {
-		e.mu.Unlock()
+	if cached, ok := e.repCache.get(key); ok {
 		return cached
 	}
-	e.mu.Unlock()
 	out := repair.RepairedClausesContext(ctx, c, e.repOpts)
 	if ctx.Err() != nil {
 		return out
 	}
-	e.mu.Lock()
-	e.repCache[key] = out
-	e.mu.Unlock()
+	e.repCache.set(key, out)
 	return out
 }
 
 // stripCached memoizes StripCFDConnected.
 func (e *Evaluator) stripCached(c logic.Clause) logic.Clause {
-	key := c.Key()
-	e.mu.Lock()
-	if cached, ok := e.stripCache[key]; ok {
-		e.mu.Unlock()
-		return cached
-	}
-	e.mu.Unlock()
-	out := StripCFDConnected(c)
-	e.mu.Lock()
-	e.stripCache[key] = out
-	e.mu.Unlock()
-	return out
+	return e.stripCache.getOrCompute(c.Key(), func() logic.Clause {
+		return StripCFDConnected(c)
+	})
 }
 
 // clauseHasCFDRepairs reports whether any repair literal of the clause comes

@@ -70,60 +70,30 @@ func (e *Evaluator) NewExamples(ctx context.Context, grounds []logic.Clause) []*
 	return out
 }
 
-// CoversPositiveExample is CoversPositive against a prepared example.
+// CoversPositiveExample is CoversPositive against a prepared example. For
+// one-shot tests the candidate is compiled directly; batch APIs resolve a
+// shared probe once and reuse its compilation across examples and workers.
 func (e *Evaluator) CoversPositiveExample(ctx context.Context, c logic.Clause, ex *Example) bool {
-	if ok, _ := ex.prep.SubsumesContext(ctx, c); ok {
-		return true
-	}
-	if !clauseHasCFDRepairs(c) && !ex.hasCFD {
-		return false
-	}
-	cmd := e.stripCached(c)
-	if ok, _ := ex.stripped.SubsumesContext(ctx, cmd); !ok {
-		return false
-	}
-	cExp := e.expandCFD(ctx, c)
-	if len(cExp) == 0 || len(ex.cfdExp) == 0 {
-		return false
-	}
-	for _, ce := range cExp {
-		matched := false
-		for _, g := range ex.cfdExp {
-			if ok, _ := g.SubsumesContext(ctx, ce); ok {
-				matched = true
-				break
-			}
-		}
-		if !matched {
-			return false
-		}
-	}
-	return true
+	return e.newProbe(c, false).coversPositive(ctx, ex)
 }
 
 // CoversNegativeExample is CoversNegative against a prepared example.
 func (e *Evaluator) CoversNegativeExample(ctx context.Context, c logic.Clause, ex *Example) bool {
-	cReps := e.repairedCached(ctx, c)
-	for _, cr := range cReps {
-		for _, gr := range ex.repaired {
-			if ok, _ := gr.SubsumesPlainContext(ctx, cr); ok {
-				return true
-			}
-		}
-	}
-	return false
+	return e.newProbe(c, false).coversNegative(ctx, ex)
 }
 
 // CountPositiveExamples counts the prepared examples covered as positives,
 // in parallel.
 func (e *Evaluator) CountPositiveExamples(ctx context.Context, c logic.Clause, exs []*Example) int {
-	return e.countParallelExamples(ctx, exs, func(ex *Example) bool { return e.CoversPositiveExample(ctx, c, ex) })
+	p := e.newProbe(c, true)
+	return e.countParallelExamples(ctx, exs, func(ex *Example) bool { return p.coversPositive(ctx, ex) })
 }
 
 // CountNegativeExamples counts the prepared examples covered as negatives,
 // in parallel.
 func (e *Evaluator) CountNegativeExamples(ctx context.Context, c logic.Clause, exs []*Example) int {
-	return e.countParallelExamples(ctx, exs, func(ex *Example) bool { return e.CoversNegativeExample(ctx, c, ex) })
+	p := e.newProbe(c, true)
+	return e.countParallelExamples(ctx, exs, func(ex *Example) bool { return p.coversNegative(ctx, ex) })
 }
 
 // ScoreClauseExamples computes a clause's score over prepared examples.
@@ -137,7 +107,8 @@ func (e *Evaluator) ScoreClauseExamples(ctx context.Context, c logic.Clause, pos
 // CoveredPositiveExamples returns the indices of the prepared positive
 // examples covered by the clause.
 func (e *Evaluator) CoveredPositiveExamples(ctx context.Context, c logic.Clause, exs []*Example) []int {
-	mask := e.maskParallelExamples(ctx, exs, func(ex *Example) bool { return e.CoversPositiveExample(ctx, c, ex) })
+	p := e.newProbe(c, true)
+	mask := e.maskParallelExamples(ctx, exs, func(ex *Example) bool { return p.coversPositive(ctx, ex) })
 	var out []int
 	for i, b := range mask {
 		if b {

@@ -1,0 +1,78 @@
+package coverage
+
+import (
+	"context"
+	"sync/atomic"
+
+	"dlearn/internal/logic"
+)
+
+// ScoreBatch scores one candidate clause over prepared positive and negative
+// examples on the evaluator's worker pool, stopping early once the score can
+// no longer exceed the caller-supplied floor. The bound is
+//
+//	PositivesCovered + positives-still-pending - NegativesCovered,
+//
+// which only shrinks as positives miss and negatives hit; as soon as it drops
+// to the floor the candidate provably cannot beat the incumbent and the rest
+// of the batch is skipped. The candidate is compiled once before the workers
+// start and shared (read-only) by all of them.
+//
+// The boolean result reports whether the batch was scored exactly: true means
+// every example was evaluated and the Score is the same value
+// ScoreClauseExamples would return; false means the batch stopped early
+// (bound proven ≤ floor, or the context was cancelled) and the Score is a
+// partial tally whose exact fields depend on scheduling. Selection loops that
+// only keep candidates strictly above the floor can therefore discard
+// non-exact results without losing determinism.
+func (e *Evaluator) ScoreBatch(ctx context.Context, c logic.Clause, pos, neg []*Example, floor int) (Score, bool) {
+	nPos, nNeg := len(pos), len(neg)
+	if nPos <= floor {
+		// Even covering every positive and no negative cannot exceed the
+		// floor; skip the whole batch.
+		return Score{}, false
+	}
+	p := e.newProbe(c, true)
+
+	var posCov, posMiss, negCov, done atomic.Int64
+	var stopped atomic.Bool
+	checkBound := func() {
+		if int64(nPos)-posMiss.Load()-negCov.Load() <= int64(floor) {
+			stopped.Store(true)
+		}
+	}
+	process := func(i int) {
+		if i < nPos {
+			if p.coversPositive(ctx, pos[i]) {
+				posCov.Add(1)
+			} else {
+				posMiss.Add(1)
+				checkBound()
+			}
+		} else if p.coversNegative(ctx, neg[i-nPos]) {
+			negCov.Add(1)
+			checkBound()
+		}
+		done.Add(1)
+	}
+
+	n := nPos + nNeg
+	e.forEachParallel(ctx, n, func(i int) {
+		// Items drained after the bound closes are O(1) no-ops.
+		if stopped.Load() {
+			return
+		}
+		process(i)
+	})
+
+	score := Score{PositivesCovered: int(posCov.Load()), NegativesCovered: int(negCov.Load())}
+	exact := done.Load() == int64(n) && ctx.Err() == nil
+	return score, exact
+}
+
+// ScoreBatchGrounds is ScoreBatch over raw ground bottom clauses, preparing
+// them first. It exists for callers that have not prepared examples; inside
+// the learner the prepared-example form is always used.
+func (e *Evaluator) ScoreBatchGrounds(ctx context.Context, c logic.Clause, pos, neg []logic.Clause, floor int) (Score, bool) {
+	return e.ScoreBatch(ctx, c, e.NewExamples(ctx, pos), e.NewExamples(ctx, neg), floor)
+}

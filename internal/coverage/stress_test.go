@@ -1,0 +1,148 @@
+package coverage
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"dlearn/internal/logic"
+)
+
+// westernCandidate requires a genre absent from the bench database, so it
+// covers no example at all: every positive misses, which closes the
+// early-exit bound with the whole negative batch still pending.
+func westernCandidate() logic.Clause {
+	x, tt, y, z := logic.Var("x"), logic.Var("t"), logic.Var("y"), logic.Var("z")
+	vx, vt := logic.Var("vx"), logic.Var("vt")
+	cond := logic.Condition{Op: logic.CondSim, L: x, R: tt}
+	return logic.NewClause(
+		logic.Rel("highGrossing", x),
+		logic.Rel("movies", y, tt, z),
+		logic.Rel("mov2genres", y, logic.Const("western")),
+		logic.Sim(x, tt),
+		logic.RepairInGroup("md_title", "md_title#c", logic.OriginMD, x, vx, cond),
+		logic.RepairInGroup("md_title", "md_title#c", logic.OriginMD, tt, vt, cond),
+		logic.Eq(vx, vt),
+	)
+}
+
+// TestEvaluatorConcurrentStress hammers one shared Evaluator from many
+// goroutines with a mix of batch scoring (with and without early-exit
+// floors), example preparation and cancelled batches. Run under -race it
+// checks the lock-striped caches and shared compiled candidates; the
+// assertions check that exact results are deterministic: every exact score
+// must equal the score a single-threaded evaluator computes for the same
+// fixed-seed workload.
+func TestEvaluatorConcurrentStress(t *testing.T) {
+	_, posG, negG := benchExamples(t, 40, 6, 6)
+	cands := append(benchCandidates(), westernCandidate())
+	ctx := context.Background()
+
+	// Reference scores from a serial evaluator.
+	ref := NewEvaluator(Options{Threads: 1})
+	refPos := ref.NewExamples(ctx, posG)
+	refNeg := ref.NewExamples(ctx, negG)
+	want := make([]Score, len(cands))
+	for i, c := range cands {
+		want[i] = ref.ScoreClauseExamples(ctx, c, refPos, refNeg)
+	}
+
+	// Few stripes on purpose: more goroutines collide on each lock.
+	e := NewEvaluator(Options{Threads: 4, CacheShards: 2})
+	posEx := e.NewExamples(ctx, posG)
+	negEx := e.NewExamples(ctx, negG)
+
+	const workers = 8
+	const iters = 4
+	noFloor := -1 << 30
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				for ci, c := range cands {
+					switch (w + it + ci) % 4 {
+					case 0:
+						// Unfloored batch: always exact and deterministic.
+						s, exact := e.ScoreBatch(ctx, c, posEx, negEx, noFloor)
+						if !exact {
+							t.Errorf("unfloored ScoreBatch reported non-exact for candidate %d", ci)
+						} else if s != want[ci] {
+							t.Errorf("candidate %d: concurrent score %+v, serial %+v", ci, s, want[ci])
+						}
+					case 1:
+						// Floor at the candidate's own value: the batch may
+						// early-exit, but an exact result must still match.
+						s, exact := e.ScoreBatch(ctx, c, posEx, negEx, want[ci].Value())
+						if exact && s != want[ci] {
+							t.Errorf("candidate %d: floored exact score %+v, serial %+v", ci, s, want[ci])
+						}
+					case 2:
+						// Concurrent example preparation against the shared
+						// caches, probed immediately.
+						ex := e.NewExample(ctx, posG[(w+it)%len(posG)])
+						e.CoversPositiveExample(ctx, c, ex)
+						e.CoversNegativeExample(ctx, c, ex)
+					default:
+						// Cancelled batches must stay conservative (non-exact)
+						// and must not poison the caches for other workers.
+						cctx, cancel := context.WithCancel(ctx)
+						cancel()
+						if _, exact := e.ScoreBatch(cctx, c, posEx, negEx, noFloor); exact {
+							t.Errorf("cancelled ScoreBatch reported an exact score")
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// After the stress, the shared evaluator must still score exactly.
+	for ci, c := range cands {
+		if got := e.ScoreClauseExamples(ctx, c, posEx, negEx); got != want[ci] {
+			t.Errorf("candidate %d after stress: score %+v, want %+v", ci, got, want[ci])
+		}
+	}
+}
+
+// TestScoreBatchEarlyExit checks the early-exit contract on a serial
+// evaluator: a floor the candidate cannot exceed yields a non-exact result,
+// and a batch that runs to completion matches ScoreClauseExamples.
+func TestScoreBatchEarlyExit(t *testing.T) {
+	_, posG, negG := benchExamples(t, 40, 6, 6)
+	cands := append(benchCandidates(), westernCandidate())
+	ctx := context.Background()
+	e := NewEvaluator(Options{Threads: 1})
+	posEx := e.NewExamples(ctx, posG)
+	negEx := e.NewExamples(ctx, negG)
+
+	earlyExits := 0
+	for ci, c := range cands {
+		full := e.ScoreClauseExamples(ctx, c, posEx, negEx)
+		if s, exact := e.ScoreBatch(ctx, c, posEx, negEx, -1<<30); !exact || s != full {
+			t.Errorf("candidate %d: unfloored batch %+v (exact=%v), want %+v", ci, s, exact, full)
+		}
+		// A floor of len(pos) can never be exceeded: the batch must refuse
+		// without scoring anything.
+		if s, exact := e.ScoreBatch(ctx, c, posEx, negEx, len(posEx)); exact || s != (Score{}) {
+			t.Errorf("candidate %d: impossible floor scored %+v (exact=%v)", ci, s, exact)
+		}
+		if full.Value() < len(posEx) {
+			// Flooring at the candidate's own value closes the bound; unless
+			// the closing test happens to be the batch's final item this is
+			// an early exit. An exact result must still match the full score.
+			s, exact := e.ScoreBatch(ctx, c, posEx, negEx, full.Value())
+			if exact && s != full {
+				t.Errorf("candidate %d: floored exact score %+v, want %+v", ci, s, full)
+			}
+			if !exact {
+				earlyExits++
+			}
+		}
+	}
+	if earlyExits == 0 {
+		t.Error("no candidate triggered a mid-batch early exit; the bound is not being applied")
+	}
+}

@@ -58,9 +58,6 @@ type Instance struct {
 	tuples map[string][]Tuple
 	// index[rel][attr][value] -> positions into tuples[rel]
 	index map[string][]map[string][]int
-	// dedup[rel][tuple key] guards against exact duplicate insertions when
-	// requested by InsertUnique.
-	dedup map[string]map[string]bool
 }
 
 // NewInstance creates an empty instance of the given schema.
@@ -69,22 +66,30 @@ func NewInstance(schema *Schema) *Instance {
 		schema: schema,
 		tuples: make(map[string][]Tuple),
 		index:  make(map[string][]map[string][]int),
-		dedup:  make(map[string]map[string]bool),
 	}
 }
 
 // Schema returns the schema the instance conforms to.
 func (in *Instance) Schema() *Schema { return in.schema }
 
+// validateInsert checks that the relation exists and the value count matches
+// its arity.
+func (in *Instance) validateInsert(rel string, values []string) (*Relation, error) {
+	r := in.schema.Relation(rel)
+	if r == nil {
+		return nil, fmt.Errorf("relation: insert into unknown relation %q", rel)
+	}
+	if len(values) != r.Arity() {
+		return nil, fmt.Errorf("relation: insert into %q: got %d values, want %d", rel, len(values), r.Arity())
+	}
+	return r, nil
+}
+
 // Insert adds a tuple to the named relation. It returns an error when the
 // relation is unknown or the arity does not match the schema.
 func (in *Instance) Insert(rel string, values ...string) error {
-	r := in.schema.Relation(rel)
-	if r == nil {
-		return fmt.Errorf("relation: insert into unknown relation %q", rel)
-	}
-	if len(values) != r.Arity() {
-		return fmt.Errorf("relation: insert into %q: got %d values, want %d", rel, len(values), r.Arity())
+	if _, err := in.validateInsert(rel, values); err != nil {
+		return err
 	}
 	v := make([]string, len(values))
 	copy(v, values)
@@ -103,23 +108,56 @@ func (in *Instance) MustInsert(rel string, values ...string) {
 }
 
 // InsertUnique inserts the tuple only if an identical tuple is not already
-// present. It reports whether an insertion happened.
+// present. It reports whether an insertion happened. The duplicate check
+// probes the per-attribute hash index (smallest candidate bucket), so it
+// stays fast even after value rewrites and never scans the whole relation.
 func (in *Instance) InsertUnique(rel string, values ...string) (bool, error) {
-	key := Tuple{Relation: rel, Values: values}.Key()
-	if in.dedup[rel] == nil {
-		in.dedup[rel] = make(map[string]bool)
-		for _, t := range in.tuples[rel] {
-			in.dedup[rel][t.Key()] = true
-		}
+	// Validate before the duplicate probe: contains assumes the arity
+	// matches the index layout.
+	if _, err := in.validateInsert(rel, values); err != nil {
+		return false, err
 	}
-	if in.dedup[rel][key] {
+	if in.contains(rel, values) {
 		return false, nil
 	}
 	if err := in.Insert(rel, values...); err != nil {
 		return false, err
 	}
-	in.dedup[rel][key] = true
 	return true, nil
+}
+
+// contains reports whether an identical tuple exists, comparing only the
+// tuples in the smallest per-attribute index bucket of the probe values.
+func (in *Instance) contains(rel string, values []string) bool {
+	if len(values) == 0 {
+		// A zero-arity relation holds at most the empty tuple.
+		return len(in.tuples[rel]) > 0
+	}
+	idx := in.index[rel]
+	if idx == nil {
+		return false
+	}
+	var bucket []int
+	for a := range idx {
+		positions := idx[a][values[a]]
+		if len(positions) == 0 {
+			return false
+		}
+		if bucket == nil || len(positions) < len(bucket) {
+			bucket = positions
+		}
+	}
+	ts := in.tuples[rel]
+outer:
+	for _, p := range bucket {
+		for i, v := range ts[p].Values {
+			if v != values[i] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
 }
 
 func (in *Instance) indexTuple(rel string, pos int, t Tuple) {
@@ -242,8 +280,6 @@ func (in *Instance) ReplaceValue(rel string, attr int, old, new string) int {
 	}
 	delete(idx[attr], old)
 	idx[attr][new] = append(idx[attr][new], positions...)
-	// Any dedup cache for this relation is now stale.
-	delete(in.dedup, rel)
 	return len(positions)
 }
 
@@ -277,7 +313,6 @@ func (in *Instance) SetValueAt(rel string, pos, attr int, value string) error {
 		in.index[rel][attr][old] = entry
 	}
 	in.index[rel][attr][value] = append(in.index[rel][attr][value], pos)
-	delete(in.dedup, rel)
 	return nil
 }
 

@@ -106,6 +106,57 @@ func TestInstanceInsertUnique(t *testing.T) {
 	}
 }
 
+func TestInstanceInsertUniqueNearDuplicates(t *testing.T) {
+	in := NewInstance(movieSchema())
+	// Near-duplicates: tuples sharing every attribute but one must all be
+	// inserted (the index probe must compare whole tuples, not one column).
+	base := []string{"m1", "Superbad (2007)", "2007"}
+	variants := [][]string{
+		{"m2", "Superbad (2007)", "2007"}, // same title and year
+		{"m1", "Superbad", "2007"},        // same id and year
+		{"m1", "Superbad (2007)", "2008"}, // same id and title
+	}
+	if ok, err := in.InsertUnique("movies", base...); err != nil || !ok {
+		t.Fatalf("base insert failed: %v %v", ok, err)
+	}
+	for _, v := range variants {
+		if ok, err := in.InsertUnique("movies", v...); err != nil || !ok {
+			t.Fatalf("near-duplicate %v should insert: %v %v", v, ok, err)
+		}
+	}
+	if in.Count("movies") != 4 {
+		t.Fatalf("count = %d, want 4", in.Count("movies"))
+	}
+	for _, v := range append([][]string{base}, variants...) {
+		if ok, err := in.InsertUnique("movies", v...); err != nil || ok {
+			t.Fatalf("exact duplicate %v should be a no-op: %v %v", v, ok, err)
+		}
+	}
+	if in.Count("movies") != 4 {
+		t.Fatalf("count after duplicate inserts = %d, want 4", in.Count("movies"))
+	}
+}
+
+func TestInstanceInsertUniqueErrorsAndRewrites(t *testing.T) {
+	in := NewInstance(movieSchema())
+	if _, err := in.InsertUnique("nope", "a"); err == nil {
+		t.Fatal("InsertUnique into unknown relation must fail")
+	}
+	if _, err := in.InsertUnique("movies", "only-one"); err == nil {
+		t.Fatal("InsertUnique arity mismatch must fail")
+	}
+	// After a value rewrite the index-backed duplicate check must see the
+	// new values, not the originals.
+	in.MustInsert("movies", "m1", "Superbad (2007)", "2007")
+	in.ReplaceValue("movies", 1, "Superbad (2007)", "Superbad")
+	if ok, _ := in.InsertUnique("movies", "m1", "Superbad", "2007"); ok {
+		t.Fatal("rewritten tuple should be detected as a duplicate")
+	}
+	if ok, _ := in.InsertUnique("movies", "m1", "Superbad (2007)", "2007"); !ok {
+		t.Fatal("the pre-rewrite tuple no longer exists and should insert")
+	}
+}
+
 func TestInstanceSelectAnyWithDomains(t *testing.T) {
 	in := NewInstance(movieSchema())
 	in.MustInsert("movies", "m1", "m1", "2007") // title equals an id on purpose

@@ -1,0 +1,297 @@
+package subsumption
+
+import (
+	"context"
+	"testing"
+
+	"dlearn/internal/logic"
+)
+
+// bruteForceSubsumes is a reference θ-subsumption checker: it enumerates
+// every mapping of c's mappable literals onto d's literals, binding
+// variables by exhaustive search with copy-on-write substitutions. It shares
+// no code with the optimized backtracking search (no compilation, no
+// candidate filtering, no ordering) so the two can cross-check each other.
+// Exponential; only usable on the small clauses of tests and fuzzing.
+func bruteForceSubsumes(c, d logic.Clause, skipClosure bool) bool {
+	if c.Head.Pred != d.Head.Pred || len(c.Head.Args) != len(d.Head.Args) {
+		return false
+	}
+	theta := make(map[string]logic.Term)
+	if !bruteBind(theta, c.Head.Args, d.Head.Args) {
+		return false
+	}
+	var lits []int
+	for i, l := range c.Body {
+		if l.IsRelation() || l.IsRepair() {
+			lits = append(lits, i)
+		}
+	}
+	eq := newUnionFind()
+	sim := make(map[[2]logic.Term]bool)
+	for _, l := range d.Body {
+		switch l.Kind {
+		case logic.EqualityLit:
+			eq.union(l.Args[0], l.Args[1])
+		case logic.SimilarityLit:
+			sim[[2]logic.Term{l.Args[0], l.Args[1]}] = true
+			sim[[2]logic.Term{l.Args[1], l.Args[0]}] = true
+		}
+	}
+	eqc := eq.freeze()
+
+	var rec func(k int, theta map[string]logic.Term, mapped map[int]bool) bool
+	rec = func(k int, theta map[string]logic.Term, mapped map[int]bool) bool {
+		if k == len(lits) {
+			if !bruteConstraintsOK(c, theta, eqc, sim) {
+				return false
+			}
+			return skipClosure || bruteClosureOK(d, mapped)
+		}
+		cl := c.Body[lits[k]]
+		for di, dl := range d.Body {
+			if !dl.IsRelation() && !dl.IsRepair() {
+				continue
+			}
+			if predKey(cl) != predKey(dl) || len(cl.Args) != len(dl.Args) {
+				continue
+			}
+			th2 := make(map[string]logic.Term, len(theta))
+			for k, v := range theta {
+				th2[k] = v
+			}
+			if !bruteBind(th2, cl.Args, dl.Args) {
+				continue
+			}
+			m2 := make(map[int]bool, len(mapped)+1)
+			for k := range mapped {
+				m2[k] = true
+			}
+			m2[di] = true
+			if rec(k+1, th2, m2) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, theta, make(map[int]bool))
+}
+
+// bruteBind extends theta with the bindings making cArgs map onto dArgs,
+// failing on constant mismatches and inconsistent variable images.
+func bruteBind(theta map[string]logic.Term, cArgs, dArgs []logic.Term) bool {
+	for i, a := range cArgs {
+		da := dArgs[i]
+		if a.IsConst() {
+			if da.IsVar() || da.Name != a.Name {
+				return false
+			}
+			continue
+		}
+		if prev, ok := theta[a.Name]; ok {
+			if prev != da {
+				return false
+			}
+			continue
+		}
+		theta[a.Name] = da
+	}
+	return true
+}
+
+// bruteConstraintsOK checks c's restriction literals under theta against d's
+// equality closure and similarity pairs; a constraint with an unbound side
+// is satisfiable.
+func bruteConstraintsOK(c logic.Clause, theta map[string]logic.Term, eqc eqClosure, sim map[[2]logic.Term]bool) bool {
+	image := func(t logic.Term) (logic.Term, bool) {
+		if t.IsConst() {
+			return t, true
+		}
+		v, ok := theta[t.Name]
+		return v, ok
+	}
+	for _, l := range c.Body {
+		switch l.Kind {
+		case logic.EqualityLit, logic.SimilarityLit, logic.InequalityLit:
+			a, aok := image(l.Args[0])
+			b, bok := image(l.Args[1])
+			if !aok || !bok {
+				continue
+			}
+			equal := a == b || eqc.same(a, b)
+			switch l.Kind {
+			case logic.EqualityLit:
+				if !equal {
+					return false
+				}
+			case logic.SimilarityLit:
+				if !equal && !sim[[2]logic.Term{a, b}] {
+					return false
+				}
+			case logic.InequalityLit:
+				if equal {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// bruteClosureOK checks the second condition of Definition 4.4: every repair
+// literal of d connected to a mapped relation literal of d is itself mapped.
+func bruteClosureOK(d logic.Clause, mapped map[int]bool) bool {
+	for di := range mapped {
+		if !d.Body[di].IsRelation() {
+			continue
+		}
+		for _, ri := range d.ConnectedRepairLiterals(di) {
+			if !mapped[ri] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkAgainstReference asserts that the optimized search — with and without
+// a reusable CompiledCandidate — agrees with the brute-force reference on
+// the pair (c, d), in both Definition 4.4 and plain modes.
+func checkAgainstReference(t *testing.T, ch *Checker, c, d logic.Clause) {
+	t.Helper()
+	ctx := context.Background()
+	prep := ch.Prepare(d)
+	cc := CompileCandidate(c)
+	for _, plain := range []bool{false, true} {
+		want := bruteForceSubsumes(c, d, plain)
+		var got, gotCompiled bool
+		if plain {
+			got, _ = ch.SubsumesPlain(c, d)
+			gotCompiled, _ = cc.SubsumesPlain(ctx, prep)
+		} else {
+			got, _ = ch.Subsumes(c, d)
+			gotCompiled, _ = cc.Subsumes(ctx, prep)
+		}
+		if got != want || gotCompiled != want {
+			t.Fatalf("disagreement (plain=%v): brute=%v search=%v compiled=%v\nc = %v\nd = %v",
+				plain, want, got, gotCompiled, c, d)
+		}
+	}
+}
+
+// fuzzChecker uses a node budget generous enough that the bounded search is
+// exhaustive on fuzz-sized clauses, so disagreements are real bugs rather
+// than budget exhaustion.
+func fuzzChecker() *Checker { return New(Options{MaxNodes: 1 << 22}) }
+
+// TestReferenceAgreesOnKnownCases sanity-checks the reference itself on the
+// curated pairs used elsewhere in the package tests.
+func TestReferenceAgreesOnKnownCases(t *testing.T) {
+	ch := fuzzChecker()
+	pairs := [][2]logic.Clause{
+		{mdClause(), groundMDClause()},
+		{groundMDClause(), groundMDClause()},
+		{
+			logic.NewClause(logic.Rel("p", logic.Var("x")), logic.Rel("q", logic.Var("x"), logic.Var("x"))),
+			logic.NewClause(logic.Rel("p", logic.Const("a")), logic.Rel("q", logic.Const("a"), logic.Const("b"))),
+		},
+		{
+			logic.NewClause(logic.Rel("highGrossing", logic.Var("x")), logic.Rel("movies", logic.Var("y"), logic.Var("t"), logic.Var("z"))),
+			groundMDClause(),
+		},
+	}
+	for _, p := range pairs {
+		checkAgainstReference(t, ch, p[0], p[1])
+	}
+}
+
+// --- fuzzing ----------------------------------------------------------------
+
+// byteSrc deals decision bytes to the clause generator; exhausted input
+// yields zeros so every prefix is a valid generation script.
+type byteSrc struct {
+	data []byte
+	i    int
+}
+
+func (s *byteSrc) next() byte {
+	if s.i >= len(s.data) {
+		return 0
+	}
+	b := s.data[s.i]
+	s.i++
+	return b
+}
+
+var (
+	fuzzPreds = []struct {
+		name  string
+		arity int
+	}{{"q", 2}, {"r", 1}, {"s", 2}, {"q", 2}}
+	fuzzVars   = []string{"x", "y", "z", "w"}
+	fuzzConsts = []string{"a", "b", "c"}
+)
+
+func fuzzTerm(s *byteSrc, groundBias bool) logic.Term {
+	b := s.next()
+	if groundBias {
+		if b%4 != 0 {
+			return logic.Const(fuzzConsts[int(b/4)%len(fuzzConsts)])
+		}
+		return logic.Var(fuzzVars[int(b/4)%len(fuzzVars)])
+	}
+	if b%2 == 0 {
+		return logic.Var(fuzzVars[int(b/2)%len(fuzzVars)])
+	}
+	return logic.Const(fuzzConsts[int(b/2)%len(fuzzConsts)])
+}
+
+// fuzzClause generates a small clause: head p/1, up to maxLits relation
+// literals, up to two restriction literals, and optionally an MD repair
+// pair. groundBias skews terms toward constants (the subsumed side).
+func fuzzClause(s *byteSrc, maxLits int, groundBias bool) logic.Clause {
+	head := logic.Rel("p", fuzzTerm(s, groundBias))
+	var body []logic.Literal
+	n := 1 + int(s.next())%maxLits
+	for i := 0; i < n; i++ {
+		p := fuzzPreds[int(s.next())%len(fuzzPreds)]
+		args := make([]logic.Term, p.arity)
+		for j := range args {
+			args[j] = fuzzTerm(s, groundBias)
+		}
+		body = append(body, logic.Rel(p.name, args...))
+	}
+	for i := int(s.next()) % 3; i > 0; i-- {
+		a, b := fuzzTerm(s, groundBias), fuzzTerm(s, groundBias)
+		switch s.next() % 3 {
+		case 0:
+			body = append(body, logic.Eq(a, b))
+		case 1:
+			body = append(body, logic.Sim(a, b))
+		default:
+			body = append(body, logic.Neq(a, b))
+		}
+	}
+	if s.next()%3 == 0 {
+		x, v := fuzzTerm(s, groundBias), logic.Var("v"+fuzzVars[int(s.next())%len(fuzzVars)])
+		cond := logic.Condition{Op: logic.CondSim, L: x, R: v}
+		body = append(body, logic.RepairInGroup("md1", "md1#0", logic.OriginMD, x, v, cond))
+	}
+	return logic.NewClause(head, body...)
+}
+
+// FuzzSubsumes cross-checks the optimized θ-subsumption search (direct and
+// through a CompiledCandidate, plain and Definition 4.4 modes) against the
+// brute-force reference on generated clause pairs.
+func FuzzSubsumes(f *testing.F) {
+	f.Add([]byte("dlearn"))
+	f.Add([]byte("subsumption-fuzz-seed"))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte{255, 254, 3, 9, 27, 81, 243, 7, 21, 63, 189, 55})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := &byteSrc{data: data}
+		c := fuzzClause(s, 3, false)
+		d := fuzzClause(s, 5, true)
+		checkAgainstReference(t, fuzzChecker(), c, d)
+	})
+}

@@ -30,8 +30,11 @@ type compiled struct {
 	prep *Prepared
 
 	skipRepairClosure bool
-	maxNodes          int
-	nodes             int
+	// infeasible marks a probe where some literal of c has no candidate
+	// image in d; the search is skipped entirely.
+	infeasible bool
+	maxNodes   int
+	nodes      int
 
 	// ctx cancels the search: the node loop polls it periodically and a
 	// cancelled search reports "does not subsume", exactly like an exhausted
@@ -48,12 +51,17 @@ const ctxPollInterval = 256
 // and its repair-literal connectivity. Preparing a ground bottom clause once
 // and testing many candidate clauses against it is the dominant usage in the
 // learner, so this saves recompiling the large side on every test.
+//
+// A Prepared is immutable after Prepare returns (the equality closure is
+// frozen and the repair connectivity fully precomputed), so any number of
+// goroutines may probe the same Prepared concurrently.
 type Prepared struct {
 	d         logic.Clause
 	byPred    map[string][]int
-	eq        *unionFind
-	simPairs  map[[2]string]bool
+	eq        eqClosure
+	simPairs  map[[2]logic.Term]bool
 	connected map[int][]int
+	hasRepair bool
 	maxNodes  int
 }
 
@@ -65,24 +73,31 @@ func (ch *Checker) Prepare(d logic.Clause) *Prepared {
 	p := &Prepared{
 		d:         d,
 		byPred:    make(map[string][]int),
-		eq:        newUnionFind(),
-		simPairs:  make(map[[2]string]bool),
+		simPairs:  make(map[[2]logic.Term]bool),
 		connected: make(map[int][]int),
 		maxNodes:  ch.Opts.maxNodes(),
 	}
+	eq := newUnionFind()
 	for i, l := range d.Body {
 		if l.IsRelation() || l.IsRepair() {
 			p.byPred[predKey(l)] = append(p.byPred[predKey(l)], i)
 		}
+		if l.IsRepair() {
+			p.hasRepair = true
+		}
 		switch l.Kind {
 		case logic.EqualityLit:
-			p.eq.union(l.Args[0].String(), l.Args[1].String())
+			eq.union(l.Args[0], l.Args[1])
 		case logic.SimilarityLit:
-			a, b := l.Args[0].String(), l.Args[1].String()
-			p.simPairs[[2]string{a, b}] = true
-			p.simPairs[[2]string{b, a}] = true
+			a, b := l.Args[0], l.Args[1]
+			p.simPairs[[2]logic.Term{a, b}] = true
+			p.simPairs[[2]logic.Term{b, a}] = true
 		}
 	}
+	p.eq = eq.freeze()
+	// Only relation literals are consulted by the closure check (mapped
+	// repair literals are skipped), so precomputing these makes the check
+	// read-only and the Prepared safely shareable.
 	for i, l := range d.Body {
 		if l.IsRelation() {
 			p.connected[i] = d.ConnectedRepairLiterals(i)
@@ -152,88 +167,10 @@ func (ch *Checker) compile(ctx context.Context, c, d logic.Clause, skipClosure b
 }
 
 // compileAgainst compiles the c-side of a subsumption problem against an
-// already prepared d-side.
+// already prepared d-side. One-shot entry point; repeated probes of the same
+// candidate should go through CompileCandidate.
 func compileAgainst(ctx context.Context, c logic.Clause, prep *Prepared, skipClosure bool) *compiled {
-	e := &compiled{
-		c: c, d: prep.d,
-		varIndex:          make(map[string]int),
-		prep:              prep,
-		skipRepairClosure: skipClosure,
-		maxNodes:          prep.maxNodes,
-		ctx:               ctx,
-	}
-	termOf := func(t logic.Term) compiledTerm {
-		if t.IsConst() {
-			return compiledTerm{varID: -1, value: t.Name}
-		}
-		id, ok := e.varIndex[t.Name]
-		if !ok {
-			id = len(e.varNames)
-			e.varIndex[t.Name] = id
-			e.varNames = append(e.varNames, t.Name)
-		}
-		return compiledTerm{varID: id}
-	}
-
-	// Head variables first so they are bound before the search starts.
-	for _, a := range c.Head.Args {
-		termOf(a)
-	}
-
-	dByPred := prep.byPred
-	d := prep.d
-
-	// Compile c's literals.
-	var lits []compiledLit
-	for i, l := range c.Body {
-		switch {
-		case l.IsRelation() || l.IsRepair():
-			cl := compiledLit{cIndex: i}
-			for _, a := range l.Args {
-				cl.args = append(cl.args, termOf(a))
-			}
-			// Candidate images: same predicate key, same arity, matching
-			// constants at c's constant positions.
-			for _, di := range dByPred[predKey(l)] {
-				dl := d.Body[di]
-				if len(dl.Args) != len(l.Args) {
-					continue
-				}
-				ok := true
-				for k, a := range cl.args {
-					if a.varID < 0 {
-						da := dl.Args[k]
-						if da.IsVar() || da.Name != a.value {
-							ok = false
-							break
-						}
-					}
-				}
-				if ok {
-					cl.candidates = append(cl.candidates, di)
-				}
-			}
-			lits = append(lits, cl)
-		default:
-			ci := compiledConstraint{kind: l.Kind, l: termOf(l.Args[0]), r: termOf(l.Args[1])}
-			e.constraints = append(e.constraints, ci)
-		}
-	}
-	e.varConstraints = make([][]int, len(e.varNames))
-	for idx, con := range e.constraints {
-		if con.l.varID >= 0 {
-			e.varConstraints[con.l.varID] = append(e.varConstraints[con.l.varID], idx)
-		}
-		if con.r.varID >= 0 && con.r.varID != con.l.varID {
-			e.varConstraints[con.r.varID] = append(e.varConstraints[con.r.varID], idx)
-		}
-	}
-
-	// Order literals: fewest candidates first, then greedily prefer literals
-	// connected (sharing variables) to already-placed ones so conflicts are
-	// discovered early.
-	e.lits = orderLits(lits, len(e.varNames), headVarIDs(c, e.varIndex))
-	return e
+	return CompileCandidate(c).against(ctx, prep, skipClosure)
 }
 
 func headVarIDs(c logic.Clause, varIndex map[string]int) []int {
@@ -299,6 +236,9 @@ func orderLits(lits []compiledLit, numVars int, seedVars []int) []compiledLit {
 // run performs the backtracking search. It returns the substitution when c
 // subsumes d.
 func (e *compiled) run() (bool, logic.Substitution) {
+	if e.infeasible {
+		return false, nil
+	}
 	b := binding{terms: make([]logic.Term, len(e.varNames)), bound: make([]bool, len(e.varNames))}
 	// Bind head variables.
 	for i, a := range e.c.Head.Args {
@@ -320,7 +260,13 @@ func (e *compiled) run() (bool, logic.Substitution) {
 			return false, nil
 		}
 	}
-	mapped := make(map[int]int)
+	// The mapped-literal bookkeeping only feeds the repair-closure check of
+	// Definition 4.4; skip it (nil map) in plain mode and when d has no
+	// repair literals, where the check is vacuous.
+	var mapped map[int]int
+	if !e.skipRepairClosure && e.prep.hasRepair {
+		mapped = make(map[int]int)
+	}
 	if !e.search(b, 0, mapped) {
 		return false, nil
 	}
@@ -348,7 +294,7 @@ func (e *compiled) search(b binding, k int, mapped map[int]int) bool {
 		if !e.finalConstraintsOK(b) {
 			return false
 		}
-		if !e.skipRepairClosure && !e.repairClosureOK(mapped) {
+		if mapped != nil && !e.repairClosureOK(mapped) {
 			return false
 		}
 		return true
@@ -358,15 +304,20 @@ func (e *compiled) search(b binding, k int, mapped map[int]int) bool {
 		dl := e.d.Body[di]
 		trail, ok := e.bindLit(&b, cl, dl)
 		if ok {
-			prev, hadPrev := mapped[di]
-			mapped[di] = cl.cIndex
+			prev, hadPrev := 0, false
+			if mapped != nil {
+				prev, hadPrev = mapped[di]
+				mapped[di] = cl.cIndex
+			}
 			if e.search(b, k+1, mapped) {
 				return true
 			}
-			if hadPrev {
-				mapped[di] = prev
-			} else {
-				delete(mapped, di)
+			if mapped != nil {
+				if hadPrev {
+					mapped[di] = prev
+				} else {
+					delete(mapped, di)
+				}
 			}
 		}
 		for _, v := range trail {
@@ -454,14 +405,13 @@ func (e *compiled) image(b binding, t compiledTerm) (logic.Term, bool) {
 }
 
 func (e *compiled) constraintHolds(kind logic.Kind, a, b logic.Term) bool {
-	as, bs := a.String(), b.String()
 	switch kind {
 	case logic.EqualityLit:
-		return as == bs || e.prep.eq.same(as, bs)
+		return a == b || e.prep.eq.same(a, b)
 	case logic.SimilarityLit:
-		return as == bs || e.prep.eq.same(as, bs) || e.prep.simPairs[[2]string{as, bs}]
+		return a == b || e.prep.eq.same(a, b) || e.prep.simPairs[[2]logic.Term{a, b}]
 	case logic.InequalityLit:
-		return as != bs && !e.prep.eq.same(as, bs)
+		return a != b && !e.prep.eq.same(a, b)
 	default:
 		return true
 	}
@@ -476,12 +426,9 @@ func (e *compiled) repairClosureOK(mapped map[int]int) bool {
 		if dl.IsRepair() {
 			continue
 		}
-		connected, ok := e.prep.connected[di]
-		if !ok {
-			connected = e.d.ConnectedRepairLiterals(di)
-			e.prep.connected[di] = connected
-		}
-		for _, ri := range connected {
+		// Connectivity was precomputed for every relation literal in Prepare,
+		// so this is a pure read and the Prepared stays shareable.
+		for _, ri := range e.prep.connected[di] {
 			if _, ok := mapped[ri]; !ok {
 				return false
 			}

@@ -100,15 +100,17 @@ func predKey(l logic.Literal) string {
 	return "R#" + l.Pred
 }
 
-// unionFind is a minimal union-find over strings used for the equality
-// closure of the subsumed clause.
+// unionFind is a minimal union-find over terms used to build the equality
+// closure of the subsumed clause. Keying by logic.Term (a comparable struct)
+// instead of rendered strings keeps the constraint checks of the search
+// allocation-free.
 type unionFind struct {
-	parent map[string]string
+	parent map[logic.Term]logic.Term
 }
 
-func newUnionFind() *unionFind { return &unionFind{parent: make(map[string]string)} }
+func newUnionFind() *unionFind { return &unionFind{parent: make(map[logic.Term]logic.Term)} }
 
-func (u *unionFind) find(x string) string {
+func (u *unionFind) find(x logic.Term) logic.Term {
 	p, ok := u.parent[x]
 	if !ok {
 		u.parent[x] = x
@@ -122,24 +124,42 @@ func (u *unionFind) find(x string) string {
 	return root
 }
 
-func (u *unionFind) union(a, b string) {
+func (u *unionFind) union(a, b logic.Term) {
 	ra, rb := u.find(a), u.find(b)
 	if ra != rb {
 		u.parent[ra] = rb
 	}
 }
 
-func (u *unionFind) same(a, b string) bool {
+// freeze resolves every element to its final root, producing a read-only
+// closure. The union-find itself mutates on reads (path compression), so a
+// Prepared stores the frozen form to stay safe under concurrent probes.
+func (u *unionFind) freeze() eqClosure {
+	root := make(map[logic.Term]logic.Term, len(u.parent))
+	for x := range u.parent {
+		root[x] = u.find(x)
+	}
+	return eqClosure{root: root}
+}
+
+// eqClosure is an immutable equality closure: a term maps to the
+// representative of its equivalence class. Terms never mentioned in an
+// equality literal are only equal to themselves.
+type eqClosure struct {
+	root map[logic.Term]logic.Term
+}
+
+func (e eqClosure) same(a, b logic.Term) bool {
 	if a == b {
 		return true
 	}
-	// Avoid creating entries for unknown values: values never mentioned in
-	// an equality literal are only equal to themselves.
-	if _, ok := u.parent[a]; !ok {
+	ra, ok := e.root[a]
+	if !ok {
 		return false
 	}
-	if _, ok := u.parent[b]; !ok {
+	rb, ok := e.root[b]
+	if !ok {
 		return false
 	}
-	return u.find(a) == u.find(b)
+	return ra == rb
 }

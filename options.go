@@ -32,6 +32,15 @@ func WithSeed(seed int64) Option {
 	}
 }
 
+// WithEvalCacheShards sets the number of lock stripes in the coverage
+// evaluator's memo tables (repair expansions, CFD projections, compiled
+// candidates). The value is rounded up to a power of two; more stripes
+// reduce contention between coverage workers. Zero selects the default
+// (16, matching the paper's 16-way parallel coverage testing).
+func WithEvalCacheShards(n int) Option {
+	return func(e *Engine) { e.cfg.EvalCacheShards = n }
+}
+
 // WithNoiseTolerance sets the maximum fraction of covered examples that may
 // be negative for a clause to be accepted (the paper's noise parameter).
 func WithNoiseTolerance(f float64) Option {

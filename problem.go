@@ -1,6 +1,9 @@
 package dlearn
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // ProblemBuilder assembles a learning Problem fluently and centralizes its
 // validation: Build reports every structural mistake (missing instance,
@@ -97,7 +100,7 @@ func (b *ProblemBuilder) example(positive bool, values []string) *ProblemBuilder
 // problem otherwise passed the same validation Learn performs.
 func (b *ProblemBuilder) Build() (*Problem, error) {
 	if len(b.errs) > 0 {
-		return nil, b.errs[0]
+		return nil, errors.Join(b.errs...)
 	}
 	if b.p.Instance == nil {
 		return nil, fmt.Errorf("dlearn: problem needs an instance; call OnInstance")
