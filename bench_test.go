@@ -252,7 +252,10 @@ func BenchmarkAblationParallelCoverage(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			ev := coverage.NewEvaluator(coverage.Options{Threads: threads})
-			exs := ev.NewExamples(context.Background(), grounds)
+			exs, err := ev.NewExamples(context.Background(), grounds)
+			if err != nil {
+				b.Fatalf("NewExamples: %v", err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				ev.CountPositiveExamples(context.Background(), clause, exs)

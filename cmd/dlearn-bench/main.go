@@ -43,6 +43,7 @@ func main() {
 		threads = flag.Int("threads", 16, "parallel coverage-testing workers")
 		folds   = flag.Int("folds", 0, "cross-validation folds (default: 5, or 2 with -quick)")
 		jsonDir = flag.String("json", ".", "directory for BENCH_<exp>.json timing summaries (empty disables)")
+		snapDir = flag.String("snapshot-dir", "", "snapshot directory for the coverage experiment's warm-start measurement (empty uses a throwaway temp dir)")
 	)
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func main() {
 	if *folds > 0 {
 		opts.Folds = *folds
 	}
+	opts.SnapshotDir = *snapDir
 	opts.Out = os.Stdout
 
 	runners := map[string]func(context.Context, bench.Options) error{

@@ -39,6 +39,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed driving the learner")
 		system   = flag.String("system", "DLearn", "system to run: DLearn|DLearn-CFD|DLearn-Repaired|Castor-NoMD|Castor-Exact|Castor-Clean")
 		progress = flag.Bool("progress", false, "stream learning progress events to stderr")
+		snapDir  = flag.String("snapshot-dir", "", "directory persisting prepared examples across runs (empty disables)")
 	)
 	flag.Parse()
 
@@ -68,6 +69,11 @@ func main() {
 	if *progress {
 		engineOpts = append(engineOpts, dlearn.WithObserver(progressObserver()))
 	}
+	if *snapDir != "" {
+		engineOpts = append(engineOpts,
+			dlearn.WithSnapshotDir(*snapDir),
+			dlearn.WithObserver(snapshotObserver()))
+	}
 	eng := dlearn.New(engineOpts...)
 
 	def, _, report, err := eng.RunBaseline(ctx, dlearn.System(*system), problem)
@@ -93,6 +99,27 @@ func progressObserver() dlearn.Observer {
 				ev.Positives, ev.Negatives, ev.Uncovered, ev.Clause)
 		case dlearn.ClauseRejected:
 			fmt.Fprintf(os.Stderr, "  - clause rejected (%d pos / %d neg covered)\n", ev.Positives, ev.Negatives)
+		}
+	})
+}
+
+// snapshotObserver prints the snapshot hit/miss summary lines so a warm
+// start is visible without -progress.
+func snapshotObserver() dlearn.Observer {
+	return dlearn.ObserverFunc(func(e dlearn.Event) {
+		switch ev := e.(type) {
+		case dlearn.SnapshotHit:
+			fmt.Fprintf(os.Stderr, "snapshot hit %s: %d prepared examples loaded in %s (%d bytes)\n",
+				ev.Key[:12], ev.Examples, ev.Duration.Round(1e6), ev.Bytes)
+		case dlearn.SnapshotMiss:
+			fmt.Fprintf(os.Stderr, "snapshot miss %s (%s): prepared fresh in %s\n",
+				ev.Key[:12], ev.Reason, ev.Duration.Round(1e6))
+		case dlearn.SnapshotWritten:
+			fmt.Fprintf(os.Stderr, "snapshot written %s: %d examples, %d bytes in %s\n",
+				ev.Key[:12], ev.Examples, ev.Bytes, ev.Duration.Round(1e6))
+		case dlearn.SnapshotWriteFailed:
+			fmt.Fprintf(os.Stderr, "snapshot write failed %s: %s (runs will keep starting cold)\n",
+				ev.Key[:12], ev.Error)
 		}
 	})
 }

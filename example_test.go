@@ -1,0 +1,96 @@
+package dlearn_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"dlearn"
+)
+
+// exampleProblem assembles a tiny learning task shared by the runnable
+// examples: six movies, a genre table, and "high-grossing" labels that
+// follow the comedy genre.
+func exampleProblem() *dlearn.Problem {
+	schema := dlearn.NewSchema()
+	schema.MustAdd(dlearn.NewRelation("movies",
+		dlearn.Attr("id", "imdb_id"), dlearn.Attr("title", "imdb_title")))
+	schema.MustAdd(dlearn.NewRelation("mov2genres",
+		dlearn.Attr("id", "imdb_id"), dlearn.ConstAttr("genre", "genre")))
+
+	db := dlearn.NewInstance(schema)
+	rows := []struct{ id, title, genre string }{
+		{"m1", "Silent Harbor", "comedy"},
+		{"m2", "Crimson Station", "comedy"},
+		{"m3", "Broken Mirror", "drama"},
+		{"m4", "Hidden Canyon", "drama"},
+		{"m5", "Electric Parade", "comedy"},
+		{"m6", "Midnight Archive", "thriller"},
+	}
+	for _, r := range rows {
+		db.MustInsert("movies", r.id, r.title+" (2007)")
+		db.MustInsert("mov2genres", r.id, r.genre)
+	}
+
+	target := dlearn.NewRelation("highGrossing", dlearn.Attr("title", "bom_title"))
+	b := dlearn.NewProblem(target).
+		OnInstance(db).
+		WithMDs(dlearn.SimpleMD("md_title", "highGrossing", "title", "movies", "title"))
+	for _, r := range rows {
+		if r.genre == "comedy" {
+			b.PosValues(r.title)
+		} else {
+			b.NegValues(r.title)
+		}
+	}
+	return b.MustBuild()
+}
+
+// ExampleProblemBuilder shows the fluent path from schema to validated
+// problem: the builder accumulates the instance, constraints and examples,
+// and Build reports every structural mistake at once instead of failing
+// later inside Learn.
+func ExampleProblemBuilder() {
+	p := exampleProblem()
+	fmt.Printf("target %s with %d positive and %d negative examples\n",
+		p.Target.Name, len(p.Pos), len(p.Neg))
+	// Output:
+	// target highGrossing with 3 positive and 3 negative examples
+}
+
+// ExampleWithSnapshotStore demonstrates warm starts: the first run prepares
+// the training examples and persists them; the second run over the same
+// database, constraints and options is served from the snapshot. The
+// observer stream makes the difference visible.
+func ExampleWithSnapshotStore() {
+	dir, err := os.MkdirTemp("", "dlearn-snapshots-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	store := dlearn.NewDirSnapshotStore(dir)
+
+	run := func(label string) {
+		eng := dlearn.New(
+			dlearn.WithThreads(2),
+			dlearn.WithSeed(1),
+			dlearn.WithSnapshotStore(store),
+			dlearn.WithObserver(dlearn.ObserverFunc(func(e dlearn.Event) {
+				switch e.(type) {
+				case dlearn.SnapshotHit:
+					fmt.Printf("%s: prepared examples loaded from snapshot\n", label)
+				case dlearn.SnapshotMiss:
+					fmt.Printf("%s: no snapshot, preparing fresh\n", label)
+				}
+			})),
+		)
+		if _, _, err := eng.Learn(context.Background(), exampleProblem()); err != nil {
+			panic(err)
+		}
+	}
+	run("first run")
+	run("second run")
+	// Output:
+	// first run: no snapshot, preparing fresh
+	// second run: prepared examples loaded from snapshot
+}

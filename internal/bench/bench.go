@@ -42,6 +42,13 @@ type Options struct {
 	// performs (a TimingCollector aggregates them into a machine-readable
 	// summary); nil discards them.
 	Observer observe.Observer
+	// SnapshotDir is where the coverage micro-benchmark persists prepared
+	// examples to measure cold vs warm starts. Empty means a throwaway
+	// temporary directory. The benchmark always measures the cold prepare
+	// (and rewrites the snapshot) so its numbers stay comparable across
+	// runs; a persistent directory only keeps the resulting snapshot
+	// around, e.g. for warm-starting dlearn-learn.
+	SnapshotDir string
 }
 
 // DefaultOptions mirrors the paper's experimental setup.

@@ -7,8 +7,10 @@ import (
 	"time"
 
 	"dlearn/internal/bottomclause"
+	"dlearn/internal/core"
 	"dlearn/internal/coverage"
 	"dlearn/internal/logic"
+	"dlearn/internal/persist"
 )
 
 // CoverageSummary is the machine-readable result of the coverage
@@ -28,8 +30,21 @@ type CoverageSummary struct {
 	Rounds     int `json:"rounds"`
 
 	// PrepareSeconds is the one-off cost of preparing all ground bottom
-	// clauses for repeated probing.
+	// clauses for repeated probing — the cold-start cost the snapshot store
+	// exists to amortize.
 	PrepareSeconds float64 `json:"prepare_seconds"`
+
+	// SnapshotHit reports whether the warm-start load was served from the
+	// snapshot store (persistence worked end to end in this run).
+	SnapshotHit bool `json:"snapshot_hit"`
+	// LoadSeconds is the warm-start cost: loading, decoding and restoring
+	// the prepared examples from the snapshot store.
+	LoadSeconds float64 `json:"load_seconds"`
+	// SnapshotBytes is the encoded snapshot size on disk.
+	SnapshotBytes int `json:"snapshot_bytes"`
+	// WarmSpeedup is PrepareSeconds / LoadSeconds: how much faster a warm
+	// start is than a cold one.
+	WarmSpeedup float64 `json:"warm_speedup"`
 
 	// Full scoring: every candidate scored over every example per round.
 	FullScoreSeconds    float64 `json:"full_score_seconds"`
@@ -53,9 +68,12 @@ func (o Options) coverageScale() (int, int, int, int) {
 
 // RunCoverage benchmarks the candidate-evaluation pipeline on the IMDB+OMDB
 // dataset with CFD violations: it grounds and prepares the training
-// examples, then repeatedly scores bottom-clause candidates over them, both
-// exhaustively (ScoreClauseExamples) and with floor-bounded early exit
-// (ScoreBatch), and reports the throughput of each mode.
+// examples (cold), snapshots them, loads them back through the snapshot
+// store (warm), then repeatedly scores bottom-clause candidates over the
+// warm-loaded examples, both exhaustively (ScoreClauseExamples) and with
+// floor-bounded early exit (ScoreBatch), and reports the throughput of each
+// mode. Scoring against the restored examples makes the warm path's
+// correctness part of the benchmark, not an assumption.
 func RunCoverage(ctx context.Context, o Options) (CoverageSummary, error) {
 	w := o.out()
 	fprintf(w, "Coverage micro-benchmark: candidate evaluation over prepared examples\n")
@@ -108,13 +126,62 @@ func RunCoverage(ctx context.Context, o Options) (CoverageSummary, error) {
 		cands = append(cands, c)
 	}
 
+	// Cold start: prepare every example fresh, then persist the result.
+	snapDir := o.SnapshotDir
+	if snapDir == "" {
+		tmp, err := os.MkdirTemp("", "dlearn-snapshots-*")
+		if err != nil {
+			return CoverageSummary{}, err
+		}
+		defer os.RemoveAll(tmp)
+		snapDir = tmp
+	}
+	store := persist.NewDirStore(snapDir)
+	// The benchmark scores a subset of the dataset's examples, so the
+	// fingerprint covers exactly that subset — shared with the learner via
+	// core.SnapshotFingerprint so both tools key snapshots identically.
+	benchProblem := p
+	benchProblem.Pos = p.Pos[:nPos]
+	benchProblem.Neg = p.Neg[:nNeg]
+	key := core.SnapshotFingerprint(benchProblem, lcfg).Key()
+
 	prepStart := time.Now()
-	posEx := eval.NewExamples(ctx, posG)
-	negEx := eval.NewExamples(ctx, negG)
-	if err := ctx.Err(); err != nil {
+	coldPos, err := eval.NewExamples(ctx, posG)
+	if err != nil {
+		return CoverageSummary{}, err
+	}
+	coldNeg, err := eval.NewExamples(ctx, negG)
+	if err != nil {
 		return CoverageSummary{}, err
 	}
 	prepare := time.Since(prepStart)
+
+	snapData := persist.EncodeExampleSet(coverage.SnapshotExamples(coldPos, coldNeg))
+	if err := store.Save(key, snapData); err != nil {
+		return CoverageSummary{}, err
+	}
+
+	// Warm start: a fresh evaluator loads the snapshot through the same
+	// path the learner uses. The scoring passes below run on the restored
+	// examples.
+	warmEval := coverage.NewEvaluator(coverage.Options{
+		Subsumption: lcfg.Subsumption,
+		Repair:      lcfg.Repair,
+		Threads:     o.Threads,
+		CacheShards: lcfg.EvalCacheShards,
+	})
+	posEx, negEx, outcome, err := warmEval.LoadOrPrepareExamples(ctx, store, key, posG, negG)
+	if err != nil {
+		return CoverageSummary{}, err
+	}
+	eval = warmEval
+	fprintf(w, "  snapshot: key %s, %d bytes in %s\n", key.Short(), len(snapData), snapDir)
+	if outcome.Hit {
+		fprintf(w, "  snapshot hit: warm load %.3fs vs cold prepare %.3fs (%.0fx)\n",
+			outcome.LoadTime.Seconds(), prepare.Seconds(), prepare.Seconds()/outcome.LoadTime.Seconds())
+	} else {
+		fprintf(w, "  snapshot miss (%s): warm start fell back to fresh preparation\n", outcome.Reason)
+	}
 
 	// Untimed warm-up: populate the candidate/repair/strip caches so the two
 	// timed passes compare scoring strategies, not cache states.
@@ -169,6 +236,9 @@ func RunCoverage(ctx context.Context, o Options) (CoverageSummary, error) {
 		Negatives:           len(negEx),
 		Rounds:              rounds,
 		PrepareSeconds:      prepare.Seconds(),
+		SnapshotHit:         outcome.Hit,
+		LoadSeconds:         outcome.LoadTime.Seconds(),
+		SnapshotBytes:       len(snapData),
 		FullScoreSeconds:    full.Seconds(),
 		CoverTestsPerSecond: tests / full.Seconds(),
 		BatchScoreSeconds:   batch.Seconds(),
@@ -177,10 +247,14 @@ func RunCoverage(ctx context.Context, o Options) (CoverageSummary, error) {
 	if batch > 0 {
 		s.BatchSpeedup = full.Seconds() / batch.Seconds()
 	}
+	if s.LoadSeconds > 0 {
+		s.WarmSpeedup = s.PrepareSeconds / s.LoadSeconds
+	}
 	fprintf(w, "  candidates=%d positives=%d negatives=%d rounds=%d threads=%d shards=%d\n",
 		s.Candidates, s.Positives, s.Negatives, s.Rounds, s.Threads, s.CacheShards)
-	fprintf(w, "  prepare=%.3fs  full=%.3fs (%.0f cover tests/s)  batch=%.3fs (%.2fx, %d early exits)\n",
-		s.PrepareSeconds, s.FullScoreSeconds, s.CoverTestsPerSecond, s.BatchScoreSeconds, s.BatchSpeedup, s.BatchEarlyExits)
+	fprintf(w, "  prepare=%.3fs  load=%.3fs (hit=%v, %.0fx warm speedup)  full=%.3fs (%.0f cover tests/s)  batch=%.3fs (%.2fx, %d early exits)\n",
+		s.PrepareSeconds, s.LoadSeconds, s.SnapshotHit, s.WarmSpeedup,
+		s.FullScoreSeconds, s.CoverTestsPerSecond, s.BatchScoreSeconds, s.BatchSpeedup, s.BatchEarlyExits)
 	return s, nil
 }
 

@@ -23,6 +23,10 @@ func TestCoverageSummaryRoundTrip(t *testing.T) {
 		Negatives:           60,
 		Rounds:              3,
 		PrepareSeconds:      0.25,
+		SnapshotHit:         true,
+		LoadSeconds:         0.02,
+		SnapshotBytes:       123456,
+		WarmSpeedup:         12.5,
 		FullScoreSeconds:    1.5,
 		CoverTestsPerSecond: 1600,
 		BatchScoreSeconds:   0.9,
@@ -53,7 +57,8 @@ func TestCoverageSummaryRoundTrip(t *testing.T) {
 	for _, key := range []string{
 		"experiment", "seed", "threads", "cache_shards",
 		"candidates", "positives", "negatives", "rounds",
-		"prepare_seconds", "full_score_seconds", "cover_tests_per_second",
+		"prepare_seconds", "snapshot_hit", "load_seconds", "snapshot_bytes",
+		"warm_speedup", "full_score_seconds", "cover_tests_per_second",
 		"batch_score_seconds", "batch_early_exits", "batch_speedup",
 	} {
 		if _, ok := raw[key]; !ok {
@@ -78,6 +83,35 @@ func TestRunCoverageQuick(t *testing.T) {
 	}
 	if s.FullScoreSeconds <= 0 || s.CoverTestsPerSecond <= 0 {
 		t.Errorf("missing timings: %+v", s)
+	}
+	if !s.SnapshotHit {
+		t.Error("warm-start load did not hit the snapshot store")
+	}
+	if s.LoadSeconds <= 0 || s.SnapshotBytes <= 0 || s.WarmSpeedup <= 0 {
+		t.Errorf("missing snapshot measurements: %+v", s)
+	}
+}
+
+// TestRunCoverageSnapshotDir checks that a caller-provided snapshot dir is
+// used and populated.
+func TestRunCoverageSnapshotDir(t *testing.T) {
+	dir := t.TempDir()
+	o := QuickOptions()
+	o.Out = io.Discard
+	o.SnapshotDir = dir
+	s, err := RunCoverage(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.SnapshotHit {
+		t.Error("warm-start load did not hit the snapshot store")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("snapshot dir has %d entries, want 1", len(entries))
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"dlearn/internal/generalize"
 	"dlearn/internal/logic"
 	"dlearn/internal/observe"
+	"dlearn/internal/persist"
 	"dlearn/internal/relation"
 	"dlearn/internal/repair"
 	"dlearn/internal/subsumption"
@@ -110,6 +111,11 @@ type Config struct {
 	Repair repair.Options
 	// Observer receives progress events during learning; nil discards them.
 	Observer observe.Observer
+	// SnapshotStore, when non-nil, persists prepared training examples
+	// across runs: preparation is served from the store when a snapshot
+	// exists for this problem-and-configuration fingerprint and written
+	// back after a fresh preparation otherwise. Nil disables persistence.
+	SnapshotStore persist.Store
 }
 
 // DefaultConfig mirrors the paper's experimental setup (sample size 10,
@@ -129,13 +135,49 @@ func DefaultConfig() Config {
 	}
 }
 
+// SnapshotFingerprint assembles the snapshot-store fingerprint of a problem
+// under a configuration. It is the single source of truth for what keys a
+// prepared-example snapshot: every tool that writes or reads snapshots for
+// the same effective run (the learner, the bench harness) must build its
+// key through this function, or identical inputs hash to different keys.
+// It applies the same normalization NewLearner does (BottomClause.Seed
+// inherits Seed when unset), so a caller passing a raw Config and the
+// learner running its normalized copy agree.
+func SnapshotFingerprint(p Problem, cfg Config) persist.FingerprintInputs {
+	if cfg.BottomClause.Seed == 0 {
+		cfg.BottomClause.Seed = cfg.Seed
+	}
+	return persist.FingerprintInputs{
+		Instance:     p.Instance,
+		Target:       p.Target,
+		MDs:          p.MDs,
+		CFDs:         p.CFDs,
+		Pos:          p.Pos,
+		Neg:          p.Neg,
+		BottomClause: cfg.BottomClause,
+		Subsumption:  cfg.Subsumption,
+		Repair:       cfg.Repair,
+		Noise:        cfg.MaxNegativeFraction,
+	}
+}
+
 // Report summarizes a learning run.
 type Report struct {
 	// Duration is the wall-clock learning time.
 	Duration time.Duration
 	// BottomClauseTime is the time spent constructing ground bottom clauses
-	// for the training examples.
+	// for the training examples and preparing them for coverage testing
+	// (loading them from the snapshot store on a warm start).
 	BottomClauseTime time.Duration
+	// SnapshotHit reports whether the prepared examples were served from
+	// the configured snapshot store; always false without a store.
+	SnapshotHit bool
+	// PrepareTime is the time spent preparing examples fresh (zero on a
+	// snapshot hit).
+	PrepareTime time.Duration
+	// SnapshotLoadTime is the time spent loading and restoring the
+	// prepared examples from the snapshot store (zero without a store).
+	SnapshotLoadTime time.Duration
 	// ClausesConsidered counts candidate clauses scored during the search.
 	ClausesConsidered int
 	// SeedsTried counts how many positive examples served as seeds.
@@ -229,10 +271,38 @@ func (l *Learner) LearnContext(ctx context.Context, p Problem) (*logic.Definitio
 	if err != nil {
 		return nil, nil, err
 	}
-	posEx := eval.NewExamples(ctx, posGround)
-	negEx := eval.NewExamples(ctx, negGround)
-	if err := ctx.Err(); err != nil {
+	var key persist.Key
+	if l.cfg.SnapshotStore != nil {
+		key = SnapshotFingerprint(p, l.cfg).Key()
+	}
+	posEx, negEx, snap, err := eval.LoadOrPrepareExamples(ctx, l.cfg.SnapshotStore, key, posGround, negGround)
+	if err != nil {
 		return nil, nil, err
+	}
+	report.SnapshotHit = snap.Hit
+	report.PrepareTime = snap.PrepareTime
+	report.SnapshotLoadTime = snap.LoadTime
+	if l.cfg.SnapshotStore != nil {
+		if snap.Hit {
+			l.obs.Observe(observe.SnapshotHit{
+				Key:      key.String(),
+				Examples: len(posEx) + len(negEx),
+				Bytes:    snap.Bytes,
+				Duration: snap.LoadTime,
+			})
+		} else {
+			l.obs.Observe(observe.SnapshotMiss{Key: key.String(), Reason: snap.Reason, Duration: snap.PrepareTime})
+			if snap.WriteErr != nil {
+				l.obs.Observe(observe.SnapshotWriteFailed{Key: key.String(), Error: snap.WriteErr.Error()})
+			} else {
+				l.obs.Observe(observe.SnapshotWritten{
+					Key:      key.String(),
+					Examples: len(posEx) + len(negEx),
+					Bytes:    snap.Bytes,
+					Duration: snap.WriteTime,
+				})
+			}
+		}
 	}
 	report.BottomClauseTime = time.Since(bcStart)
 	l.obs.Observe(observe.PhaseDone{Phase: observe.PhaseBottomClauses, Duration: report.BottomClauseTime})

@@ -124,8 +124,8 @@ func BenchmarkScoreClauseExamples(b *testing.B) {
 		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
 			e := NewEvaluator(Options{Threads: threads})
 			ctx := context.Background()
-			posEx := e.NewExamples(ctx, posG)
-			negEx := e.NewExamples(ctx, negG)
+			posEx := mustExamples(b, e, posG)
+			negEx := mustExamples(b, e, negG)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, c := range cands {

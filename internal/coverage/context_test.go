@@ -28,13 +28,24 @@ func simpleClause() logic.Clause {
 	)
 }
 
+// mustExamples prepares examples with a live context, failing the test on
+// the (impossible) preparation error.
+func mustExamples(tb testing.TB, e *Evaluator, grounds []logic.Clause) []*Example {
+	tb.Helper()
+	exs, err := e.NewExamples(context.Background(), grounds)
+	if err != nil {
+		tb.Fatalf("NewExamples: %v", err)
+	}
+	return exs
+}
+
 func TestWorkerPoolHonorsCancellation(t *testing.T) {
 	e := NewEvaluator(Options{Threads: 4})
 	grounds := make([]logic.Clause, 32)
 	for i := range grounds {
 		grounds[i] = simpleGround("comedy")
 	}
-	exs := e.NewExamples(context.Background(), grounds)
+	exs := mustExamples(t, e, grounds)
 
 	if got := e.CountPositiveExamples(context.Background(), simpleClause(), exs); got != len(exs) {
 		t.Fatalf("uncancelled count = %d, want %d", got, len(exs))
@@ -55,7 +66,12 @@ func TestWorkerPoolHonorsCancellation(t *testing.T) {
 	}
 }
 
-func TestNewExamplesCancelledHasNoNilEntries(t *testing.T) {
+// TestNewExamplesCancelledReturnsError is the regression test for the
+// silently-dropped cancellation error: a batch abandoned mid-preparation
+// must report ctx.Err() instead of handing back stub examples as if the
+// preparation had succeeded. The stub-filled batch is still returned with
+// no nil entries for callers that inspect it despite the error.
+func TestNewExamplesCancelledReturnsError(t *testing.T) {
 	e := NewEvaluator(Options{Threads: 4})
 	grounds := make([]logic.Clause, 16)
 	for i := range grounds {
@@ -63,7 +79,13 @@ func TestNewExamplesCancelledHasNoNilEntries(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	exs := e.NewExamples(ctx, grounds)
+	exs, err := e.NewExamples(ctx, grounds)
+	if err == nil {
+		t.Fatal("NewExamples on a cancelled context returned nil error")
+	}
+	if err != context.Canceled {
+		t.Fatalf("NewExamples error = %v, want context.Canceled", err)
+	}
 	if len(exs) != len(grounds) {
 		t.Fatalf("NewExamples returned %d entries for %d grounds", len(exs), len(grounds))
 	}
@@ -71,5 +93,19 @@ func TestNewExamplesCancelledHasNoNilEntries(t *testing.T) {
 		if ex == nil {
 			t.Fatalf("entry %d is nil after cancellation", i)
 		}
+	}
+}
+
+// TestNewExamplesUncancelledNoError pins the happy path: a live context
+// prepares every example and reports no error.
+func TestNewExamplesUncancelledNoError(t *testing.T) {
+	e := NewEvaluator(Options{Threads: 2})
+	grounds := []logic.Clause{simpleGround("comedy"), simpleGround("drama")}
+	exs, err := e.NewExamples(context.Background(), grounds)
+	if err != nil {
+		t.Fatalf("NewExamples: %v", err)
+	}
+	if len(exs) != len(grounds) {
+		t.Fatalf("got %d examples, want %d", len(exs), len(grounds))
 	}
 }

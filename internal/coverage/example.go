@@ -44,20 +44,25 @@ func (e *Evaluator) NewExample(ctx context.Context, ground logic.Clause) *Exampl
 	return ex
 }
 
-// NewExamples prepares a batch of ground bottom clauses in parallel. When
-// ctx is cancelled, remaining examples are still allocated (so the result
-// has no nil entries) but their expensive expansions are skipped; the caller
-// is expected to check ctx.Err() and abandon the batch.
-func (e *Evaluator) NewExamples(ctx context.Context, grounds []logic.Clause) []*Example {
+// NewExamples prepares a batch of ground bottom clauses in parallel. A
+// cancelled context returns ctx.Err() alongside the partial batch: the
+// result still has one non-nil entry per ground clause (unprocessed entries
+// are filled with conservative empty-clause stubs), but a batch returned
+// with an error was abandoned mid-preparation and must not be scored.
+// Earlier versions swallowed the cancellation and handed the stub-filled
+// batch back silently, leaving callers that forgot the ctx.Err() check
+// scoring stubs; the explicit error closes that hole.
+func (e *Evaluator) NewExamples(ctx context.Context, grounds []logic.Clause) ([]*Example, error) {
 	out := make([]*Example, len(grounds))
 	e.forEachParallel(ctx, len(grounds), func(i int) {
 		out[i] = e.NewExample(ctx, grounds[i])
 	})
 	// A cancelled pool leaves entries unprocessed. Fill them with stubs so
-	// the no-nil-entries invariant holds for callers that look before
-	// checking ctx.Err(); the batch is being abandoned, so the stubs only
-	// have to answer conservatively (no coverage), never correctly, which
-	// keeps the fill O(1) per entry instead of preparing the real clause.
+	// the no-nil-entries invariant holds even for callers that inspect the
+	// batch despite the error; the batch is being abandoned, so the stubs
+	// only have to answer conservatively (no coverage), never correctly,
+	// which keeps the fill O(1) per entry instead of preparing the real
+	// clause.
 	var empty *subsumption.Prepared
 	for i := range out {
 		if out[i] == nil {
@@ -67,7 +72,7 @@ func (e *Evaluator) NewExamples(ctx context.Context, grounds []logic.Clause) []*
 			out[i] = &Example{Ground: grounds[i], prep: empty, stripped: empty}
 		}
 	}
-	return out
+	return out, ctx.Err()
 }
 
 // CoversPositiveExample is CoversPositive against a prepared example. For

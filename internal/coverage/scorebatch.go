@@ -72,7 +72,17 @@ func (e *Evaluator) ScoreBatch(ctx context.Context, c logic.Clause, pos, neg []*
 
 // ScoreBatchGrounds is ScoreBatch over raw ground bottom clauses, preparing
 // them first. It exists for callers that have not prepared examples; inside
-// the learner the prepared-example form is always used.
+// the learner the prepared-example form is always used. A preparation
+// abandoned by cancellation reports a non-exact zero score, the same
+// conservative answer a cancelled ScoreBatch produces.
 func (e *Evaluator) ScoreBatchGrounds(ctx context.Context, c logic.Clause, pos, neg []logic.Clause, floor int) (Score, bool) {
-	return e.ScoreBatch(ctx, c, e.NewExamples(ctx, pos), e.NewExamples(ctx, neg), floor)
+	posEx, err := e.NewExamples(ctx, pos)
+	if err != nil {
+		return Score{}, false
+	}
+	negEx, err := e.NewExamples(ctx, neg)
+	if err != nil {
+		return Score{}, false
+	}
+	return e.ScoreBatch(ctx, c, posEx, negEx, floor)
 }

@@ -40,8 +40,8 @@ func TestEvaluatorConcurrentStress(t *testing.T) {
 
 	// Reference scores from a serial evaluator.
 	ref := NewEvaluator(Options{Threads: 1})
-	refPos := ref.NewExamples(ctx, posG)
-	refNeg := ref.NewExamples(ctx, negG)
+	refPos := mustExamples(t, ref, posG)
+	refNeg := mustExamples(t, ref, negG)
 	want := make([]Score, len(cands))
 	for i, c := range cands {
 		want[i] = ref.ScoreClauseExamples(ctx, c, refPos, refNeg)
@@ -49,8 +49,8 @@ func TestEvaluatorConcurrentStress(t *testing.T) {
 
 	// Few stripes on purpose: more goroutines collide on each lock.
 	e := NewEvaluator(Options{Threads: 4, CacheShards: 2})
-	posEx := e.NewExamples(ctx, posG)
-	negEx := e.NewExamples(ctx, negG)
+	posEx := mustExamples(t, e, posG)
+	negEx := mustExamples(t, e, negG)
 
 	const workers = 8
 	const iters = 4
@@ -115,8 +115,8 @@ func TestScoreBatchEarlyExit(t *testing.T) {
 	cands := append(benchCandidates(), westernCandidate())
 	ctx := context.Background()
 	e := NewEvaluator(Options{Threads: 1})
-	posEx := e.NewExamples(ctx, posG)
-	negEx := e.NewExamples(ctx, negG)
+	posEx := mustExamples(t, e, posG)
+	negEx := mustExamples(t, e, negG)
 
 	earlyExits := 0
 	for ci, c := range cands {

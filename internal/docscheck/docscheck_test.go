@@ -1,0 +1,149 @@
+// Package docscheck is the repository's documentation link checker: a test
+// that walks every Markdown file at the repo root and under docs/ and
+// verifies that relative links resolve to files that exist (including
+// heading anchors within this repository's own files). CI runs it as the
+// docs job; locally it is part of the ordinary test suite, so a moved or
+// renamed document breaks the build instead of the docs.
+package docscheck
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the repository root relative to this package.
+const repoRoot = "../.."
+
+// markdownFiles returns the Markdown files the checker covers: the README
+// plus everything under docs/, recursively. Generated reference artifacts
+// at the root (SNIPPETS.md, PAPERS.md, ...) quote links from external
+// repositories verbatim and are deliberately out of scope.
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{filepath.Join(repoRoot, "README.md")}
+	docsDir := filepath.Join(repoRoot, "docs")
+	if _, err := os.Stat(docsDir); err == nil {
+		err := filepath.WalkDir(docsDir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(d.Name(), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking docs/: %v", err)
+		}
+	}
+	if len(files) == 0 {
+		t.Fatal("no Markdown files found; is repoRoot wrong?")
+	}
+	return files
+}
+
+// linkPattern matches inline Markdown links [text](target). Images and
+// reference-style links are out of scope; the repo uses inline links.
+var linkPattern = regexp.MustCompile(`\]\(([^()\s]+)\)`)
+
+// headingAnchors returns the GitHub-style anchors of a Markdown file's
+// headings.
+func headingAnchors(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := make(map[string]bool)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		// GitHub anchor rule: lowercase, drop everything but letters,
+		// digits, underscores, spaces and hyphens, then hyphenate spaces.
+		var b strings.Builder
+		for _, r := range strings.ToLower(text) {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+				b.WriteRune(r)
+			case r == ' ':
+				b.WriteByte('-')
+			}
+		}
+		anchors["#"+b.String()] = true
+	}
+	return anchors, nil
+}
+
+// TestMarkdownLinksResolve fails on any relative link whose target file (or
+// in-repo heading anchor) does not exist. External links are shape-checked
+// only — no network in tests.
+func TestMarkdownLinksResolve(t *testing.T) {
+	for _, file := range markdownFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("reading %s: %v", file, err)
+		}
+		for _, m := range linkPattern.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue
+			}
+			rel, frag := target, ""
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				rel, frag = target[:i], target[i:]
+			}
+			resolved := file
+			if rel != "" {
+				resolved = filepath.Join(filepath.Dir(file), rel)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q: %v", displayPath(file), target, err)
+					continue
+				}
+			}
+			if frag != "" && frag != "#" && strings.HasSuffix(resolved, ".md") {
+				anchors, err := headingAnchors(resolved)
+				if err != nil {
+					t.Errorf("%s: reading anchor target %q: %v", displayPath(file), target, err)
+					continue
+				}
+				if !anchors[frag] {
+					t.Errorf("%s: link %q points to a heading %q that does not exist in %s",
+						displayPath(file), target, frag, displayPath(resolved))
+				}
+			}
+		}
+	}
+}
+
+// TestArchitectureDocIsLinked pins the README ↔ docs contract: the
+// architecture document must stay reachable from the README.
+func TestArchitectureDocIsLinked(t *testing.T) {
+	readme, err := os.ReadFile(filepath.Join(repoRoot, "README.md"))
+	if err != nil {
+		t.Fatalf("reading README: %v", err)
+	}
+	if !strings.Contains(string(readme), "docs/ARCHITECTURE.md") {
+		t.Error("README.md does not link docs/ARCHITECTURE.md")
+	}
+}
+
+// displayPath renders a checked file relative to the repo root for readable
+// failure messages.
+func displayPath(path string) string {
+	rel, err := filepath.Rel(repoRoot, path)
+	if err != nil {
+		return path
+	}
+	return rel
+}

@@ -87,6 +87,58 @@ type ClauseRejected struct {
 	Positives, Negatives int
 }
 
+// SnapshotHit is emitted when the prepared training examples were served
+// from the configured snapshot store instead of being prepared fresh.
+type SnapshotHit struct {
+	// Key is the snapshot's content address in hex.
+	Key string
+	// Examples is the number of prepared examples restored (positives plus
+	// negatives).
+	Examples int
+	// Bytes is the snapshot size on disk.
+	Bytes int
+	// Duration is the time spent loading, decoding and restoring.
+	Duration time.Duration
+}
+
+// SnapshotMiss is emitted when a configured snapshot store could not serve
+// the prepared examples and they were prepared fresh.
+type SnapshotMiss struct {
+	// Key is the snapshot's content address in hex.
+	Key string
+	// Reason explains the miss: "not found" on a cold start, a decode error
+	// for a corrupted or incompatible snapshot, or "stale examples" when
+	// the stored set does not match the requested ground clauses.
+	Reason string
+	// Duration is the time spent preparing the examples fresh.
+	Duration time.Duration
+}
+
+// SnapshotWriteFailed is emitted after a miss when writing the freshly
+// prepared examples back to the store failed. The run itself proceeds on
+// the fresh preparation, but every later run will miss too — surfacing the
+// error is what makes an unwritable snapshot directory diagnosable instead
+// of a silent permanent cold start.
+type SnapshotWriteFailed struct {
+	// Key is the snapshot's content address in hex.
+	Key string
+	// Error is the rendered write error.
+	Error string
+}
+
+// SnapshotWritten is emitted after a miss once the freshly prepared
+// examples have been written back to the store.
+type SnapshotWritten struct {
+	// Key is the snapshot's content address in hex.
+	Key string
+	// Examples is the number of prepared examples written.
+	Examples int
+	// Bytes is the encoded snapshot size.
+	Bytes int
+	// Duration is the time spent encoding and saving.
+	Duration time.Duration
+}
+
 // RunFinished is emitted once, just before Learn returns successfully.
 type RunFinished struct {
 	// Clauses is the size of the learned definition.
@@ -100,13 +152,17 @@ type RunFinished struct {
 	Duration time.Duration
 }
 
-func (RunStarted) isEvent()       {}
-func (PhaseDone) isEvent()        {}
-func (IterationStarted) isEvent() {}
-func (CoverageProgress) isEvent() {}
-func (ClauseAccepted) isEvent()   {}
-func (ClauseRejected) isEvent()   {}
-func (RunFinished) isEvent()      {}
+func (RunStarted) isEvent()          {}
+func (PhaseDone) isEvent()           {}
+func (IterationStarted) isEvent()    {}
+func (CoverageProgress) isEvent()    {}
+func (ClauseAccepted) isEvent()      {}
+func (ClauseRejected) isEvent()      {}
+func (SnapshotHit) isEvent()         {}
+func (SnapshotMiss) isEvent()        {}
+func (SnapshotWritten) isEvent()     {}
+func (SnapshotWriteFailed) isEvent() {}
+func (RunFinished) isEvent()         {}
 
 // Observer receives the events of a learning run.
 type Observer interface {

@@ -1,0 +1,433 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"dlearn/internal/logic"
+	"dlearn/internal/subsumption"
+)
+
+// The snapshot wire format, version 1:
+//
+//	magic   "DLSNAP"            6 bytes
+//	version uint16 big-endian   2 bytes
+//	payload                     varint-framed values, see below
+//	crc32   IEEE, big-endian    4 bytes, over everything before it
+//
+// The payload is a deterministic depth-first serialization of an ExampleSet:
+// integers as (u)varints, strings length-prefixed, slices count-prefixed.
+// Determinism matters beyond aesthetics: encode(decode(encode(x))) is
+// byte-identical, so snapshot files can be compared and deduplicated by
+// content, and the round-trip property is testable exactly.
+//
+// Version bumps are cheap — Decode rejects unknown versions and the caller
+// falls back to a fresh preparation — so the format can evolve without
+// migration code.
+
+const (
+	codecMagic   = "DLSNAP"
+	codecVersion = 1
+)
+
+// ExampleSnapshot is the persistable form of one prepared coverage example:
+// its ground bottom clause plus every preparation derived from it (the
+// direct and CFD-stripped subsumption preparations, the CFD-only expansion
+// and the full repair expansion). It mirrors coverage.Example, which
+// converts to and from this form.
+type ExampleSnapshot struct {
+	Ground   logic.Clause
+	Prep     subsumption.PreparedSnapshot
+	Stripped subsumption.PreparedSnapshot
+	CFDExp   []subsumption.PreparedSnapshot
+	Repaired []subsumption.PreparedSnapshot
+}
+
+// ExampleSet is a whole training set of prepared examples — what one
+// learning run loads or prepares in one step.
+type ExampleSet struct {
+	Pos []ExampleSnapshot
+	Neg []ExampleSnapshot
+}
+
+// EncodeExampleSet serializes the set in the versioned binary format.
+func EncodeExampleSet(set ExampleSet) []byte {
+	e := &encoder{buf: make([]byte, 0, 1<<16)}
+	e.buf = append(e.buf, codecMagic...)
+	e.buf = binary.BigEndian.AppendUint16(e.buf, codecVersion)
+	e.exampleList(set.Pos)
+	e.exampleList(set.Neg)
+	return binary.BigEndian.AppendUint32(e.buf, crc32.ChecksumIEEE(e.buf))
+}
+
+// DecodeExampleSet parses a snapshot, verifying the magic, version and
+// checksum first so a truncated or corrupted file fails fast with an error
+// instead of yielding garbage preparations. Terms and literals are interned
+// during decoding: structurally identical literals across all examples of
+// the set share one backing structure, which is what lets paper-scale runs
+// hold hundreds of prepared examples with heavily overlapping bottom
+// clauses in memory.
+func DecodeExampleSet(data []byte) (ExampleSet, error) {
+	if len(data) < len(codecMagic)+2+4 {
+		return ExampleSet{}, fmt.Errorf("persist: snapshot truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(codecMagic)]) != codecMagic {
+		return ExampleSet{}, fmt.Errorf("persist: bad snapshot magic")
+	}
+	if v := binary.BigEndian.Uint16(data[len(codecMagic):]); v != codecVersion {
+		return ExampleSet{}, fmt.Errorf("persist: unsupported snapshot version %d (want %d)", v, codecVersion)
+	}
+	body, sum := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return ExampleSet{}, fmt.Errorf("persist: snapshot checksum mismatch")
+	}
+	d := &decoder{data: body, off: len(codecMagic) + 2, in: newInterner()}
+	var set ExampleSet
+	set.Pos = d.exampleList()
+	set.Neg = d.exampleList()
+	if d.err != nil {
+		return ExampleSet{}, d.err
+	}
+	if d.off != len(body) {
+		return ExampleSet{}, fmt.Errorf("persist: %d trailing bytes after snapshot payload", len(body)-d.off)
+	}
+	return set, nil
+}
+
+// encoder appends values to a growing buffer. All writes are infallible.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) boolean(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+func (e *encoder) term(t logic.Term) {
+	e.boolean(t.Var)
+	e.str(t.Name)
+}
+
+func (e *encoder) literal(l logic.Literal) {
+	e.uvarint(uint64(l.Kind))
+	e.str(l.Pred)
+	e.uvarint(uint64(len(l.Args)))
+	for _, a := range l.Args {
+		e.term(a)
+	}
+	e.uvarint(uint64(len(l.Cond)))
+	for _, c := range l.Cond {
+		e.uvarint(uint64(c.Op))
+		e.term(c.L)
+		e.term(c.R)
+	}
+	e.uvarint(uint64(l.Origin))
+	e.str(l.Group)
+	e.boolean(l.Induced)
+}
+
+func (e *encoder) clause(c logic.Clause) {
+	e.literal(c.Head)
+	e.uvarint(uint64(len(c.Body)))
+	for _, l := range c.Body {
+		e.literal(l)
+	}
+}
+
+func (e *encoder) termPairs(ps [][2]logic.Term) {
+	e.uvarint(uint64(len(ps)))
+	for _, p := range ps {
+		e.term(p[0])
+		e.term(p[1])
+	}
+}
+
+func (e *encoder) prepared(p subsumption.PreparedSnapshot) {
+	e.clause(p.Clause)
+	e.varint(int64(p.MaxNodes))
+	e.termPairs(p.EqRoots)
+	e.termPairs(p.SimPairs)
+	e.uvarint(uint64(len(p.Connected)))
+	for _, c := range p.Connected {
+		e.uvarint(uint64(c.Literal))
+		e.uvarint(uint64(len(c.Repairs)))
+		for _, r := range c.Repairs {
+			e.uvarint(uint64(r))
+		}
+	}
+}
+
+func (e *encoder) preparedList(ps []subsumption.PreparedSnapshot) {
+	e.uvarint(uint64(len(ps)))
+	for _, p := range ps {
+		e.prepared(p)
+	}
+}
+
+func (e *encoder) example(ex ExampleSnapshot) {
+	e.clause(ex.Ground)
+	e.prepared(ex.Prep)
+	e.prepared(ex.Stripped)
+	e.preparedList(ex.CFDExp)
+	e.preparedList(ex.Repaired)
+}
+
+func (e *encoder) exampleList(exs []ExampleSnapshot) {
+	e.uvarint(uint64(len(exs)))
+	for _, ex := range exs {
+		e.example(ex)
+	}
+}
+
+// maxCount caps every decoded collection length. The checksum already rules
+// out random corruption; the cap keeps a hand-crafted hostile snapshot from
+// forcing a huge allocation before the payload runs out.
+const maxCount = 1 << 24
+
+// decoder reads the payload sequentially, latching the first error; every
+// read after an error is a cheap no-op, so call sites stay unconditional.
+type decoder struct {
+	data []byte
+	off  int
+	err  error
+	in   *interner
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("persist: "+format, args...)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.fail("truncated uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.off:])
+	if n <= 0 {
+		d.fail("truncated varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// count reads a collection length and bounds it.
+func (d *decoder) count() int {
+	v := d.uvarint()
+	if v > maxCount {
+		d.fail("implausible collection length %d", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) str() string {
+	n := d.count()
+	if d.err != nil {
+		return ""
+	}
+	if d.off+n > len(d.data) {
+		d.fail("truncated string at offset %d", d.off)
+		return ""
+	}
+	s := d.in.str(d.data[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) boolean() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.data) {
+		d.fail("truncated bool at offset %d", d.off)
+		return false
+	}
+	b := d.data[d.off]
+	d.off++
+	if b > 1 {
+		d.fail("invalid bool byte %d at offset %d", b, d.off-1)
+		return false
+	}
+	return b == 1
+}
+
+func (d *decoder) term() logic.Term {
+	v := d.boolean()
+	return logic.Term{Name: d.str(), Var: v}
+}
+
+func (d *decoder) literal() logic.Literal {
+	start := d.off
+	var l logic.Literal
+	l.Kind = logic.Kind(d.uvarint())
+	l.Pred = d.str()
+	if n := d.count(); n > 0 {
+		l.Args = make([]logic.Term, n)
+		for i := range l.Args {
+			l.Args[i] = d.term()
+		}
+	}
+	if n := d.count(); n > 0 {
+		l.Cond = make([]logic.Condition, n)
+		for i := range l.Cond {
+			l.Cond[i] = logic.Condition{Op: logic.CondOp(d.uvarint()), L: d.term(), R: d.term()}
+		}
+	}
+	l.Origin = logic.RepairOrigin(d.uvarint())
+	l.Group = d.str()
+	l.Induced = d.boolean()
+	if d.err != nil {
+		return l
+	}
+	// Intern on the literal's encoded bytes: the format is deterministic, so
+	// byte equality is structural equality, and repeated literals across the
+	// set share one Args/Cond backing.
+	return d.in.literal(d.data[start:d.off], l)
+}
+
+func (d *decoder) clause() logic.Clause {
+	var c logic.Clause
+	c.Head = d.literal()
+	if n := d.count(); n > 0 {
+		c.Body = make([]logic.Literal, n)
+		for i := range c.Body {
+			c.Body[i] = d.literal()
+		}
+	}
+	return c
+}
+
+func (d *decoder) termPairs() [][2]logic.Term {
+	n := d.count()
+	if n == 0 {
+		return nil
+	}
+	out := make([][2]logic.Term, n)
+	for i := range out {
+		out[i] = [2]logic.Term{d.term(), d.term()}
+	}
+	return out
+}
+
+func (d *decoder) prepared() subsumption.PreparedSnapshot {
+	var p subsumption.PreparedSnapshot
+	p.Clause = d.clause()
+	p.MaxNodes = int(d.varint())
+	p.EqRoots = d.termPairs()
+	p.SimPairs = d.termPairs()
+	if n := d.count(); n > 0 {
+		p.Connected = make([]subsumption.ConnectedEntry, n)
+		for i := range p.Connected {
+			p.Connected[i].Literal = int(d.uvarint())
+			if m := d.count(); m > 0 {
+				p.Connected[i].Repairs = make([]int, m)
+				for j := range p.Connected[i].Repairs {
+					p.Connected[i].Repairs[j] = int(d.uvarint())
+				}
+			}
+		}
+	}
+	return p
+}
+
+func (d *decoder) preparedList() []subsumption.PreparedSnapshot {
+	n := d.count()
+	if n == 0 {
+		return nil
+	}
+	out := make([]subsumption.PreparedSnapshot, n)
+	for i := range out {
+		out[i] = d.prepared()
+	}
+	return out
+}
+
+func (d *decoder) example() ExampleSnapshot {
+	var ex ExampleSnapshot
+	ex.Ground = d.clause()
+	ex.Prep = d.prepared()
+	ex.Stripped = d.prepared()
+	ex.CFDExp = d.preparedList()
+	ex.Repaired = d.preparedList()
+	return ex
+}
+
+func (d *decoder) exampleList() []ExampleSnapshot {
+	n := d.count()
+	if n == 0 {
+		return nil
+	}
+	out := make([]ExampleSnapshot, n)
+	for i := range out {
+		out[i] = d.example()
+	}
+	return out
+}
+
+// interner dedupes decoded strings and literals for the lifetime of one
+// DecodeExampleSet call. Ground bottom clauses of different examples share
+// most of their literals (the same database tuples reached from different
+// seeds), and every Prepared of one example repeats the literals of its
+// expansions, so interning collapses the dominant share of decoded
+// allocations.
+type interner struct {
+	strings  map[string]string
+	literals map[string]logic.Literal
+}
+
+func newInterner() *interner {
+	return &interner{
+		strings:  make(map[string]string),
+		literals: make(map[string]logic.Literal),
+	}
+}
+
+// str returns the canonical copy of the byte slice's string value. The map
+// lookup with a string(b) key does not allocate; only first occurrences do.
+func (in *interner) str(b []byte) string {
+	if s, ok := in.strings[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	in.strings[s] = s
+	return s
+}
+
+// literal returns the canonical copy of a literal, keyed by its encoded
+// bytes. The decoded literal is passed in so first occurrences need no
+// re-decoding.
+func (in *interner) literal(enc []byte, l logic.Literal) logic.Literal {
+	if canon, ok := in.literals[string(enc)]; ok {
+		return canon
+	}
+	in.literals[string(enc)] = l
+	return l
+}

@@ -1,0 +1,204 @@
+package persist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+	"sort"
+
+	"dlearn/internal/bottomclause"
+	"dlearn/internal/constraints"
+	"dlearn/internal/relation"
+	"dlearn/internal/repair"
+	"dlearn/internal/subsumption"
+)
+
+// Key is the content address of a snapshot: a SHA-256 over every input that
+// influences the prepared examples. Two learning runs share a key exactly
+// when their preparations are guaranteed identical.
+type Key [sha256.Size]byte
+
+// String returns the key in hex, the form used for file names and logs.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Short returns a 12-hex-digit prefix of the key for human-facing output.
+func (k Key) Short() string { return k.String()[:12] }
+
+// FingerprintInputs collects everything that determines the prepared form of
+// a training set. Key hashes the inputs into a snapshot address; see the
+// field comments for why each input is included.
+type FingerprintInputs struct {
+	// Instance is the database the ground bottom clauses are built from; any
+	// tuple or schema change must miss the cache.
+	Instance *relation.Instance
+	// Target is the target relation (its name and attributes shape the
+	// clause heads).
+	Target *relation.Relation
+	// MDs and CFDs are the declarative constraints; both inject literals
+	// into ground bottom clauses and drive the repair expansions.
+	MDs  []constraints.MD
+	CFDs []constraints.CFD
+	// Pos and Neg are the training examples the prepared set covers, in
+	// order (the snapshot stores prepared examples positionally).
+	Pos, Neg []relation.Tuple
+	// BottomClause is the bottom-clause construction configuration,
+	// including its sampling seed.
+	BottomClause bottomclause.Config
+	// Subsumption matters because the search budget is frozen into each
+	// preparation.
+	Subsumption subsumption.Options
+	// Repair bounds the CFD/repair expansions stored in the snapshot.
+	Repair repair.Options
+	// Noise is the learner's noise tolerance (MaxNegativeFraction).
+	Noise float64
+}
+
+// Key hashes the inputs into the snapshot's content address.
+func (f FingerprintInputs) Key() Key {
+	h := sha256.New()
+	w := fpWriter{h: h}
+	w.str("dlearn-snapshot-fingerprint/v1")
+
+	w.instance(f.Instance)
+	w.relationDesc(f.Target)
+
+	w.num(int64(len(f.MDs)))
+	for _, md := range f.MDs {
+		w.md(md)
+	}
+	w.num(int64(len(f.CFDs)))
+	for _, cfd := range f.CFDs {
+		w.cfd(cfd)
+	}
+
+	w.tuples(f.Pos)
+	w.tuples(f.Neg)
+
+	bc := f.BottomClause
+	w.num(int64(bc.Iterations))
+	w.num(int64(bc.SampleSize))
+	w.num(int64(bc.KM))
+	w.float(bc.SimilarityThreshold)
+	w.num(int64(bc.MDMode))
+	w.boolean(bc.UseCFDs)
+	w.num(bc.Seed)
+
+	w.num(int64(f.Subsumption.MaxNodes))
+	w.num(int64(f.Repair.MaxClauses))
+	w.num(int64(f.Repair.MaxStates))
+	w.num(int64(f.Repair.Origin))
+	w.float(f.Noise)
+
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// fpWriter streams length-prefixed values into the hash so that adjacent
+// fields can never alias (e.g. ["ab","c"] vs ["a","bc"]).
+type fpWriter struct {
+	h   hash.Hash
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (w *fpWriter) num(v int64) {
+	n := binary.PutVarint(w.buf[:], v)
+	w.h.Write(w.buf[:n])
+}
+
+func (w *fpWriter) float(v float64) {
+	binary.BigEndian.PutUint64(w.buf[:8], math.Float64bits(v))
+	w.h.Write(w.buf[:8])
+}
+
+func (w *fpWriter) boolean(v bool) {
+	if v {
+		w.num(1)
+	} else {
+		w.num(0)
+	}
+}
+
+func (w *fpWriter) str(s string) {
+	w.num(int64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+func (w *fpWriter) tuples(ts []relation.Tuple) {
+	w.num(int64(len(ts)))
+	for _, t := range ts {
+		w.str(t.Relation)
+		w.num(int64(len(t.Values)))
+		for _, v := range t.Values {
+			w.str(v)
+		}
+	}
+}
+
+func (w *fpWriter) relationDesc(r *relation.Relation) {
+	if r == nil {
+		w.num(-1)
+		return
+	}
+	w.str(r.Name)
+	w.num(int64(len(r.Attrs)))
+	for _, a := range r.Attrs {
+		w.str(a.Name)
+		w.num(int64(a.Type))
+		w.str(a.Domain)
+		w.boolean(a.Constant)
+	}
+}
+
+// instance hashes the schema (relations in insertion order) and every tuple
+// in insertion order. Tuple order is part of the fingerprint because
+// bottom-clause sampling is order-sensitive.
+func (w *fpWriter) instance(in *relation.Instance) {
+	if in == nil {
+		w.num(-1)
+		return
+	}
+	schema := in.Schema()
+	names := schema.Names()
+	w.num(int64(len(names)))
+	for _, name := range names {
+		w.relationDesc(schema.Relation(name))
+		w.tuples(in.Tuples(name))
+	}
+}
+
+func (w *fpWriter) md(md constraints.MD) {
+	w.str(md.Name)
+	w.str(md.LeftRel)
+	w.str(md.RightRel)
+	w.num(int64(len(md.Similar)))
+	for _, p := range md.Similar {
+		w.str(p.Left)
+		w.str(p.Right)
+	}
+	w.str(md.MatchLeft)
+	w.str(md.MatchRight)
+}
+
+func (w *fpWriter) cfd(cfd constraints.CFD) {
+	w.str(cfd.Name)
+	w.str(cfd.Relation)
+	w.num(int64(len(cfd.LHS)))
+	for _, a := range cfd.LHS {
+		w.str(a)
+	}
+	w.str(cfd.RHS)
+	// Pattern is a map; hash its entries in sorted order.
+	keys := make([]string, 0, len(cfd.Pattern))
+	for k := range cfd.Pattern {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.num(int64(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+		w.str(cfd.Pattern[k])
+	}
+}

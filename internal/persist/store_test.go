@@ -1,0 +1,148 @@
+package persist_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dlearn/internal/bottomclause"
+	"dlearn/internal/constraints"
+	"dlearn/internal/persist"
+	"dlearn/internal/relation"
+)
+
+func testKey(b byte) persist.Key {
+	var k persist.Key
+	for i := range k {
+		k[i] = b
+	}
+	return k
+}
+
+func TestDirStoreSaveLoad(t *testing.T) {
+	store := persist.NewDirStore(filepath.Join(t.TempDir(), "snaps"))
+	key := testKey(1)
+	if _, err := store.Load(key); err != persist.ErrNotFound {
+		t.Fatalf("Load on empty store = %v, want ErrNotFound", err)
+	}
+	want := []byte("payload")
+	if err := store.Save(key, want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := store.Load(key)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Load = %q, want %q", got, want)
+	}
+	// Overwrite replaces the value.
+	want2 := []byte("payload-v2")
+	if err := store.Save(key, want2); err != nil {
+		t.Fatalf("Save overwrite: %v", err)
+	}
+	if got, _ := store.Load(key); !bytes.Equal(got, want2) {
+		t.Fatalf("Load after overwrite = %q, want %q", got, want2)
+	}
+	// Distinct keys do not collide.
+	if _, err := store.Load(testKey(2)); err != persist.ErrNotFound {
+		t.Fatalf("Load of unrelated key = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDirStoreLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	store := persist.NewDirStore(dir)
+	if err := store.Save(testKey(3), []byte("x")); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("store dir has %d entries %v, want 1", len(entries), names)
+	}
+}
+
+// fpInputs builds a baseline FingerprintInputs over a small instance.
+func fpInputs(t *testing.T) persist.FingerprintInputs {
+	t.Helper()
+	schema := relation.NewSchema()
+	schema.MustAdd(relation.NewRelation("movies", relation.Attr("id", "imdb_id"), relation.Attr("title", "imdb_title")))
+	db := relation.NewInstance(schema)
+	db.MustInsert("movies", "m1", "Superbad")
+	db.MustInsert("movies", "m2", "Election")
+	target := relation.NewRelation("highGrossing", relation.Attr("title", "bom_title"))
+	cfg := bottomclause.DefaultConfig()
+	cfg.Seed = 1
+	return persist.FingerprintInputs{
+		Instance:     db,
+		Target:       target,
+		MDs:          []constraints.MD{constraints.SimpleMD("md1", "highGrossing", "title", "movies", "title")},
+		CFDs:         []constraints.CFD{constraints.FD("fd1", "movies", []string{"id"}, "title")},
+		Pos:          []relation.Tuple{relation.NewTuple("highGrossing", "Superbad")},
+		Neg:          []relation.Tuple{relation.NewTuple("highGrossing", "Election")},
+		BottomClause: cfg,
+		Noise:        0.3,
+	}
+}
+
+// TestFingerprintStability: equal inputs, independently constructed, hash to
+// the same key — otherwise a restarted process could never hit its own
+// snapshots.
+func TestFingerprintStability(t *testing.T) {
+	if fpInputs(t).Key() != fpInputs(t).Key() {
+		t.Fatal("identical inputs produced different keys")
+	}
+}
+
+// TestFingerprintSensitivity: every input that can change the prepared
+// examples must change the key. This is the property that makes a stale
+// database or constraint set provably miss the cache.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpInputs(t).Key()
+	mutations := map[string]func(f *persist.FingerprintInputs){
+		"tuple inserted": func(f *persist.FingerprintInputs) {
+			f.Instance.MustInsert("movies", "m3", "Clueless")
+		},
+		"tuple value changed": func(f *persist.FingerprintInputs) {
+			f.Instance.ReplaceValue("movies", 1, "Superbad", "Superbad (2007)")
+		},
+		"CFD added": func(f *persist.FingerprintInputs) {
+			f.CFDs = append(f.CFDs, constraints.FD("fd2", "movies", []string{"title"}, "id"))
+		},
+		"CFD pattern changed": func(f *persist.FingerprintInputs) {
+			f.CFDs[0] = constraints.NewCFD("fd1", "movies", []string{"id"}, "title", map[string]string{"id": "m1"})
+		},
+		"CFD removed": func(f *persist.FingerprintInputs) { f.CFDs = nil },
+		"MD changed": func(f *persist.FingerprintInputs) {
+			f.MDs[0] = constraints.SimpleMD("md1", "highGrossing", "title", "movies", "id")
+		},
+		"positive example added": func(f *persist.FingerprintInputs) {
+			f.Pos = append(f.Pos, relation.NewTuple("highGrossing", "Clueless"))
+		},
+		"example order swapped": func(f *persist.FingerprintInputs) {
+			f.Pos, f.Neg = f.Neg, f.Pos
+		},
+		"bottom-clause iterations":  func(f *persist.FingerprintInputs) { f.BottomClause.Iterations++ },
+		"bottom-clause sample seed": func(f *persist.FingerprintInputs) { f.BottomClause.Seed++ },
+		"similarity threshold":      func(f *persist.FingerprintInputs) { f.BottomClause.SimilarityThreshold += 0.1 },
+		"CFDs disabled":             func(f *persist.FingerprintInputs) { f.BottomClause.UseCFDs = false },
+		"subsumption budget":        func(f *persist.FingerprintInputs) { f.Subsumption.MaxNodes = 123 },
+		"repair budget":             func(f *persist.FingerprintInputs) { f.Repair.MaxClauses = 3 },
+		"noise tolerance":           func(f *persist.FingerprintInputs) { f.Noise = 0.1 },
+	}
+	for name, mutate := range mutations {
+		f := fpInputs(t)
+		mutate(&f)
+		if f.Key() == base {
+			t.Errorf("%s: key unchanged", name)
+		}
+	}
+}

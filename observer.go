@@ -27,6 +27,19 @@ type (
 	ClauseAccepted = observe.ClauseAccepted
 	// ClauseRejected is emitted when a candidate fails the acceptance test.
 	ClauseRejected = observe.ClauseRejected
+	// SnapshotHit is emitted when prepared examples were served from the
+	// engine's snapshot store (see WithSnapshotStore).
+	SnapshotHit = observe.SnapshotHit
+	// SnapshotMiss is emitted when the snapshot store could not serve the
+	// prepared examples and they were prepared fresh.
+	SnapshotMiss = observe.SnapshotMiss
+	// SnapshotWritten is emitted after a miss once the fresh preparation
+	// has been written back to the snapshot store.
+	SnapshotWritten = observe.SnapshotWritten
+	// SnapshotWriteFailed is emitted after a miss when the write-back
+	// failed; the run proceeds, but later runs will keep missing until the
+	// store is fixed.
+	SnapshotWriteFailed = observe.SnapshotWriteFailed
 	// RunFinished is emitted once, just before Learn returns.
 	RunFinished = observe.RunFinished
 )

@@ -128,6 +128,29 @@ func WithBottomClause(cfg BottomClauseConfig) Option {
 	return func(e *Engine) { e.cfg.BottomClause = cfg }
 }
 
+// WithSnapshotStore persists prepared training examples across runs in the
+// given store. Learn serves the preparation phase from the store when a
+// snapshot exists for the problem-and-configuration fingerprint and writes
+// one back after preparing fresh otherwise; hits, misses and writes are
+// reported through the observer (SnapshotHit, SnapshotMiss,
+// SnapshotWritten). A nil store disables persistence.
+func WithSnapshotStore(store SnapshotStore) Option {
+	return func(e *Engine) { e.cfg.SnapshotStore = store }
+}
+
+// WithSnapshotDir is WithSnapshotStore over a filesystem directory: one
+// snapshot file per content-addressed key, created on first write. An empty
+// dir disables persistence.
+func WithSnapshotDir(dir string) Option {
+	return func(e *Engine) {
+		if dir == "" {
+			e.cfg.SnapshotStore = nil
+			return
+		}
+		e.cfg.SnapshotStore = NewDirSnapshotStore(dir)
+	}
+}
+
 // WithObserver registers an observer for the engine's learning runs. Passing
 // several observers (or using the option repeatedly) fans events out to all
 // of them in order.

@@ -1,0 +1,33 @@
+package dlearn
+
+import "dlearn/internal/persist"
+
+// Persistence: preparing training examples for coverage testing — ground
+// bottom clauses preprocessed for θ-subsumption plus their CFD/repair
+// expansions — dominates cold starts, yet depends only on the database, the
+// constraints and the preparation options. An Engine configured with
+// WithSnapshotStore (or WithSnapshotDir) persists the prepared examples
+// under a content-addressed key and serves later runs over the same inputs
+// from the snapshot, turning tens of seconds of preparation into a
+// sub-second load. Any input change — a tuple, an MD or CFD, a bottom-clause
+// or budget option — changes the key, so a stale snapshot can never be
+// served; corrupted or truncated snapshots fall back to fresh preparation.
+type (
+	// SnapshotStore is a content-addressed store for prepared-example
+	// snapshots. Implementations must be safe for concurrent use; DirSnapshotStore
+	// is the built-in filesystem implementation.
+	SnapshotStore = persist.Store
+	// SnapshotKey is the content address of one snapshot: a SHA-256 over
+	// every input that influences the prepared examples.
+	SnapshotKey = persist.Key
+	// DirSnapshotStore stores one snapshot file per key in a directory.
+	DirSnapshotStore = persist.DirStore
+)
+
+// ErrSnapshotNotFound is returned by SnapshotStore.Load when no snapshot
+// exists for a key.
+var ErrSnapshotNotFound = persist.ErrNotFound
+
+// NewDirSnapshotStore returns a filesystem-backed snapshot store rooted at
+// dir. The directory is created on first write.
+func NewDirSnapshotStore(dir string) *DirSnapshotStore { return persist.NewDirStore(dir) }

@@ -1,0 +1,183 @@
+package dlearn_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"dlearn"
+)
+
+// snapshotEventCounter tallies the snapshot events of a run.
+type snapshotEventCounter struct {
+	mu                              sync.Mutex
+	hits, misses, saves, writeFails int
+	missReasons                     []string
+}
+
+func (c *snapshotEventCounter) Observe(e dlearn.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev := e.(type) {
+	case dlearn.SnapshotHit:
+		c.hits++
+	case dlearn.SnapshotMiss:
+		c.misses++
+		c.missReasons = append(c.missReasons, ev.Reason)
+	case dlearn.SnapshotWritten:
+		c.saves++
+	case dlearn.SnapshotWriteFailed:
+		c.writeFails++
+	}
+}
+
+// learnWithSnapshots runs Learn over the problem with a snapshot dir and
+// returns the definition plus the observed snapshot traffic.
+func learnWithSnapshots(t *testing.T, p *dlearn.Problem, dir string, extra ...dlearn.Option) (*dlearn.Definition, *dlearn.Report, *snapshotEventCounter) {
+	t.Helper()
+	counter := &snapshotEventCounter{}
+	opts := append(tinyEngineOptions(),
+		dlearn.WithSeed(1),
+		dlearn.WithSnapshotDir(dir),
+		dlearn.WithObserver(counter))
+	opts = append(opts, extra...)
+	def, report, err := dlearn.New(opts...).Learn(context.Background(), p)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	return def, report, counter
+}
+
+// TestEngineSnapshotWarmStart drives persistence end to end through the
+// public API: a cold run misses and writes, a warm run over the same inputs
+// hits and learns the identical definition.
+func TestEngineSnapshotWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	p := buildTinyProblemFluent(t)
+
+	defCold, repCold, cold := learnWithSnapshots(t, p, dir)
+	if cold.hits != 0 || cold.misses != 1 || cold.saves != 1 {
+		t.Fatalf("cold run events: hits=%d misses=%d saves=%d, want 0/1/1", cold.hits, cold.misses, cold.saves)
+	}
+	if repCold.SnapshotHit {
+		t.Fatal("cold run reported a snapshot hit")
+	}
+	if repCold.PrepareTime == 0 {
+		t.Fatal("cold run reported zero preparation time")
+	}
+
+	defWarm, repWarm, warm := learnWithSnapshots(t, buildTinyProblemFluent(t), dir)
+	if warm.hits != 1 || warm.misses != 0 || warm.saves != 0 {
+		t.Fatalf("warm run events: hits=%d misses=%d saves=%d, want 1/0/0", warm.hits, warm.misses, warm.saves)
+	}
+	if !repWarm.SnapshotHit {
+		t.Fatal("warm run did not report a snapshot hit")
+	}
+	if repWarm.PrepareTime != 0 {
+		t.Fatalf("warm run prepared fresh for %v", repWarm.PrepareTime)
+	}
+	if defCold.String() != defWarm.String() {
+		t.Fatalf("warm start changed the learned definition:\ncold:\n%s\nwarm:\n%s", defCold, defWarm)
+	}
+}
+
+// TestEngineSnapshotStaleOnMutation is the acceptance test for the content
+// address: mutating the database or the CFD set between runs must miss the
+// cache and re-prepare, never serve the stale snapshot.
+func TestEngineSnapshotStaleOnMutation(t *testing.T) {
+	dir := t.TempDir()
+	_, _, cold := learnWithSnapshots(t, buildTinyProblemFluent(t), dir)
+	if cold.misses != 1 {
+		t.Fatalf("cold run misses = %d, want 1", cold.misses)
+	}
+
+	// Mutated database: one extra tuple.
+	mutated := buildTinyProblemFluent(t)
+	mutated.Instance.MustInsert("movies", "m7", "Quiet Voltage (2007)", "2007")
+	mutated.Instance.MustInsert("mov2genres", "m7", "comedy")
+	_, repDB, dbRun := learnWithSnapshots(t, mutated, dir)
+	if dbRun.hits != 0 || dbRun.misses != 1 {
+		t.Fatalf("mutated-database run events: hits=%d misses=%d, want 0/1", dbRun.hits, dbRun.misses)
+	}
+	if repDB.SnapshotHit || repDB.PrepareTime == 0 {
+		t.Fatalf("mutated database did not re-prepare: hit=%v prepare=%v", repDB.SnapshotHit, repDB.PrepareTime)
+	}
+
+	// Changed CFD set over the original database.
+	withCFD := buildTinyProblemFluent(t)
+	withCFD.CFDs = append(withCFD.CFDs, dlearn.FD("fd_title", "movies", []string{"id"}, "title"))
+	_, repCFD, cfdRun := learnWithSnapshots(t, withCFD, dir)
+	if cfdRun.hits != 0 || cfdRun.misses != 1 {
+		t.Fatalf("changed-CFD run events: hits=%d misses=%d, want 0/1", cfdRun.hits, cfdRun.misses)
+	}
+	if repCFD.SnapshotHit || repCFD.PrepareTime == 0 {
+		t.Fatalf("changed CFD set did not re-prepare: hit=%v prepare=%v", repCFD.SnapshotHit, repCFD.PrepareTime)
+	}
+
+	// A changed preparation option (subsumption budget) also misses.
+	_, repOpt, optRun := learnWithSnapshots(t, buildTinyProblemFluent(t), dir, dlearn.WithSubsumptionBudget(12345))
+	if optRun.hits != 0 || optRun.misses != 1 {
+		t.Fatalf("changed-budget run events: hits=%d misses=%d, want 0/1", optRun.hits, optRun.misses)
+	}
+	if repOpt.SnapshotHit {
+		t.Fatal("changed subsumption budget served the stale snapshot")
+	}
+
+	// The original inputs still hit their own snapshot afterwards.
+	_, repBack, backRun := learnWithSnapshots(t, buildTinyProblemFluent(t), dir)
+	if backRun.hits != 1 || !repBack.SnapshotHit {
+		t.Fatalf("original inputs no longer hit: hits=%d report.hit=%v", backRun.hits, repBack.SnapshotHit)
+	}
+}
+
+// brokenStore never finds a snapshot and fails every write.
+type brokenStore struct{}
+
+func (brokenStore) Load(dlearn.SnapshotKey) ([]byte, error) {
+	return nil, dlearn.ErrSnapshotNotFound
+}
+func (brokenStore) Save(dlearn.SnapshotKey, []byte) error {
+	return errors.New("disk full")
+}
+
+// TestEngineSnapshotWriteFailureSurfaced pins the degradation contract for
+// an unwritable store: learning succeeds on the fresh preparation and the
+// failed write-back is reported as a SnapshotWriteFailed event, so a
+// permanently cold store is diagnosable.
+func TestEngineSnapshotWriteFailureSurfaced(t *testing.T) {
+	counter := &snapshotEventCounter{}
+	opts := append(tinyEngineOptions(),
+		dlearn.WithSeed(1),
+		dlearn.WithSnapshotStore(brokenStore{}),
+		dlearn.WithObserver(counter))
+	def, _, err := dlearn.New(opts...).Learn(context.Background(), buildTinyProblemFluent(t))
+	if err != nil {
+		t.Fatalf("Learn over a broken store: %v", err)
+	}
+	if def.Len() == 0 {
+		t.Fatal("broken store prevented learning")
+	}
+	if counter.misses != 1 || counter.writeFails != 1 || counter.saves != 0 {
+		t.Fatalf("events: misses=%d writeFails=%d saves=%d, want 1/1/0",
+			counter.misses, counter.writeFails, counter.saves)
+	}
+}
+
+// TestEngineSnapshotDisabled pins that no snapshot events fire without a
+// store.
+func TestEngineSnapshotDisabled(t *testing.T) {
+	counter := &snapshotEventCounter{}
+	opts := append(tinyEngineOptions(), dlearn.WithSeed(1), dlearn.WithObserver(counter))
+	if _, _, err := dlearn.New(opts...).Learn(context.Background(), buildTinyProblemFluent(t)); err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	if counter.hits+counter.misses+counter.saves != 0 {
+		t.Fatalf("snapshot events without a store: %+v", counter)
+	}
+	// WithSnapshotDir("") is an explicit disable.
+	cfg := dlearn.New(dlearn.WithSnapshotDir("")).Config()
+	if cfg.SnapshotStore != nil {
+		t.Fatal(`WithSnapshotDir("") left a store configured`)
+	}
+}
