@@ -44,6 +44,8 @@ func main() {
 		folds   = flag.Int("folds", 0, "cross-validation folds (default: 5, or 2 with -quick)")
 		jsonDir = flag.String("json", ".", "directory for BENCH_<exp>.json timing summaries (empty disables)")
 		snapDir = flag.String("snapshot-dir", "", "snapshot directory for the coverage experiment's warm-start measurement (empty uses a throwaway temp dir)")
+		snapMax = flag.Int64("snapshot-max-bytes", 0, "size cap on the snapshot store; least-recently-used snapshots are swept until it fits (0 = unbounded)")
+		candPar = flag.Int("candidate-parallelism", 0, "outer-tier workers of the two-tier coverage scheduler (0 = default)")
 	)
 	flag.Parse()
 
@@ -60,6 +62,8 @@ func main() {
 		opts.Folds = *folds
 	}
 	opts.SnapshotDir = *snapDir
+	opts.SnapshotMaxBytes = *snapMax
+	opts.CandidateParallelism = *candPar
 	opts.Out = os.Stdout
 
 	runners := map[string]func(context.Context, bench.Options) error{

@@ -247,6 +247,36 @@ func TestEngineDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
+// TestEngineDeterministicAcrossThreadCounts pins the two-tier scheduler's
+// central promise: the learned definition is byte-identical for a fixed seed
+// regardless of the inner thread count and the outer candidate parallelism,
+// because the scheduler's shared floor only prunes candidates that provably
+// cannot win.
+func TestEngineDeterministicAcrossThreadCounts(t *testing.T) {
+	p := buildTinyProblemFluent(t)
+	base := append(tinyEngineOptions(), dlearn.WithSeed(7))
+	ref, _, err := dlearn.New(append(base, dlearn.WithThreads(1), dlearn.WithCandidateParallelism(1))...).
+		Learn(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []struct{ threads, candPar int }{
+		{1, 4}, {4, 1}, {4, 4}, {8, 3}, {16, 8},
+	} {
+		def, _, err := dlearn.New(append(base,
+			dlearn.WithThreads(cfg.threads),
+			dlearn.WithCandidateParallelism(cfg.candPar))...).
+			Learn(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if def.String() != ref.String() {
+			t.Errorf("threads=%d candidateParallelism=%d diverged from the serial run:\n%s\nvs\n%s",
+				cfg.threads, cfg.candPar, def, ref)
+		}
+	}
+}
+
 // TestEngineObserverEventStream checks the observer sees a coherent event
 // stream: a run start, both phase completions, at least one iteration and a
 // final RunFinished consistent with the returned report.

@@ -94,3 +94,34 @@ func ExampleWithSnapshotStore() {
 	// first run: no snapshot, preparing fresh
 	// second run: prepared examples loaded from snapshot
 }
+
+// ExampleWithCandidateParallelism demonstrates the two-tier coverage
+// scheduler: the engine scores the independent candidate clauses of each
+// refinement sample concurrently (the outer tier set here), while each
+// candidate's example batch runs on the WithThreads worker pool (the inner
+// tier). The learned definition is identical for every combination of the
+// two settings; the CandidateBatchScored observer event shows the scheduler
+// at work.
+func ExampleWithCandidateParallelism() {
+	batches := 0
+	eng := dlearn.New(
+		dlearn.WithThreads(2),              // inner tier: examples per batch
+		dlearn.WithCandidateParallelism(4), // outer tier: candidates in flight
+		dlearn.WithSeed(1),
+		dlearn.WithObserver(dlearn.ObserverFunc(func(e dlearn.Event) {
+			// Parallelism reports the workers actually used: at most the
+			// configured 4, never more than the batch has candidates.
+			if b, ok := e.(dlearn.CandidateBatchScored); ok && b.Parallelism >= 1 {
+				batches++
+			}
+		})),
+	)
+	def, _, err := eng.Learn(context.Background(), exampleProblem())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("learned %d clause(s); every candidate batch used the scheduler: %v\n",
+		def.Len(), batches > 0)
+	// Output:
+	// learned 1 clause(s); every candidate batch used the scheduler: true
+}

@@ -55,6 +55,28 @@ type CoverageSummary struct {
 	BatchScoreSeconds float64 `json:"batch_score_seconds"`
 	BatchEarlyExits   int     `json:"batch_early_exits"`
 	BatchSpeedup      float64 `json:"batch_speedup"`
+
+	// Candidate-tier scheduling on the small-example-pool workload: the same
+	// candidates scored over a pool smaller than the thread count, one
+	// candidate at a time (inner pool only) and through the two-tier
+	// scheduler (CandidateParallelism outer workers × Threads inner workers),
+	// both sharing the rising floor.
+	CandidateParallelism     int     `json:"candidate_parallelism"`
+	CandidatePoolPositives   int     `json:"candidate_pool_positives"`
+	CandidatePoolNegatives   int     `json:"candidate_pool_negatives"`
+	CandidateSerialSeconds   float64 `json:"candidate_serial_seconds"`
+	CandidateParallelSeconds float64 `json:"candidate_parallel_seconds"`
+	CandidateParallelSpeedup float64 `json:"candidate_parallel_speedup"`
+	CandidateEarlyExits      int     `json:"candidate_early_exits"`
+
+	// Snapshot-store occupancy after the run (and, with a size cap, after
+	// the LRU sweep): total bytes and file count in the store directory.
+	SnapshotStoreBytes int64 `json:"snapshot_store_bytes"`
+	SnapshotStoreFiles int   `json:"snapshot_store_files"`
+	// SnapshotMaxBytes echoes the -snapshot-max-bytes cap (0 = unbounded);
+	// SnapshotSweepRemoved counts the snapshots the sweep deleted.
+	SnapshotMaxBytes     int64 `json:"snapshot_max_bytes"`
+	SnapshotSweepRemoved int   `json:"snapshot_sweep_removed"`
 }
 
 // coverageScale returns the workload size: candidates, positives, negatives,
@@ -87,10 +109,11 @@ func RunCoverage(ctx context.Context, o Options) (CoverageSummary, error) {
 	p := ds.Problem
 	builder := bottomclause.NewBuilder(p.Instance, p.Target, p.MDs, p.CFDs, lcfg.BottomClause)
 	eval := coverage.NewEvaluator(coverage.Options{
-		Subsumption: lcfg.Subsumption,
-		Repair:      lcfg.Repair,
-		Threads:     o.Threads,
-		CacheShards: lcfg.EvalCacheShards,
+		Subsumption:          lcfg.Subsumption,
+		Repair:               lcfg.Repair,
+		Threads:              o.Threads,
+		CandidateParallelism: o.CandidateParallelism,
+		CacheShards:          lcfg.EvalCacheShards,
 	})
 
 	if nPos > len(p.Pos) {
@@ -136,6 +159,9 @@ func RunCoverage(ctx context.Context, o Options) (CoverageSummary, error) {
 		defer os.RemoveAll(tmp)
 		snapDir = tmp
 	}
+	// The store is capped only for the report-time sweep below: capping it
+	// here would let Save sweep eagerly and hide the reclaim count the
+	// summary reports.
 	store := persist.NewDirStore(snapDir)
 	// The benchmark scores a subset of the dataset's examples, so the
 	// fingerprint covers exactly that subset — shared with the learner via
@@ -165,10 +191,11 @@ func RunCoverage(ctx context.Context, o Options) (CoverageSummary, error) {
 	// path the learner uses. The scoring passes below run on the restored
 	// examples.
 	warmEval := coverage.NewEvaluator(coverage.Options{
-		Subsumption: lcfg.Subsumption,
-		Repair:      lcfg.Repair,
-		Threads:     o.Threads,
-		CacheShards: lcfg.EvalCacheShards,
+		Subsumption:          lcfg.Subsumption,
+		Repair:               lcfg.Repair,
+		Threads:              o.Threads,
+		CandidateParallelism: o.CandidateParallelism,
+		CacheShards:          lcfg.EvalCacheShards,
 	})
 	posEx, negEx, outcome, err := warmEval.LoadOrPrepareExamples(ctx, store, key, posG, negG)
 	if err != nil {
@@ -225,24 +252,76 @@ func RunCoverage(ctx context.Context, o Options) (CoverageSummary, error) {
 	}
 	batch := time.Since(batchStart)
 
+	// Candidate-tier scheduling on the small-example-pool workload: a pool
+	// smaller than the inner thread count leaves most workers idle when
+	// candidates run one at a time; the scheduler overlaps the candidates.
+	// Both passes run on the same warmed evaluator with the same shared-
+	// floor semantics, so the comparison isolates the outer tier.
+	poolPos, poolNeg := smallPool(posEx), smallPool(negEx)
+	candPar := eval.CandidateWorkers(len(cands), 0)
+	candRounds := rounds * 4
+	candSerialStart := time.Now()
+	for r := 0; r < candRounds; r++ {
+		coverage.BestCandidate(eval.ScoreCandidates(ctx, cands, poolPos, poolNeg, -1<<30, 1), -1<<30)
+	}
+	candSerial := time.Since(candSerialStart)
+	candEarlyExits := 0
+	candParStart := time.Now()
+	for r := 0; r < candRounds; r++ {
+		results := eval.ScoreCandidates(ctx, cands, poolPos, poolNeg, -1<<30, candPar)
+		for _, res := range results {
+			if !res.Exact {
+				candEarlyExits++
+			}
+		}
+	}
+	candParallel := time.Since(candParStart)
+	if err := ctx.Err(); err != nil {
+		return CoverageSummary{}, err
+	}
+
 	tests := float64(rounds) * float64(len(cands)) * float64(len(posEx)+len(negEx))
+	// Store occupancy (after an LRU sweep when a cap is configured).
+	var sweepRemoved int
+	if o.SnapshotMaxBytes > 0 {
+		stats, err := store.SetMaxBytes(o.SnapshotMaxBytes).Compact()
+		if err != nil {
+			return CoverageSummary{}, err
+		}
+		sweepRemoved = stats.Removed
+	}
+	storeBytes, storeFiles, err := store.Size()
+	if err != nil {
+		return CoverageSummary{}, err
+	}
+
 	s := CoverageSummary{
-		Experiment:          "coverage",
-		Seed:                o.Seed,
-		Threads:             eval.Threads(),
-		CacheShards:         eval.CacheShards(),
-		Candidates:          len(cands),
-		Positives:           len(posEx),
-		Negatives:           len(negEx),
-		Rounds:              rounds,
-		PrepareSeconds:      prepare.Seconds(),
-		SnapshotHit:         outcome.Hit,
-		LoadSeconds:         outcome.LoadTime.Seconds(),
-		SnapshotBytes:       len(snapData),
-		FullScoreSeconds:    full.Seconds(),
-		CoverTestsPerSecond: tests / full.Seconds(),
-		BatchScoreSeconds:   batch.Seconds(),
-		BatchEarlyExits:     earlyExits,
+		Experiment:               "coverage",
+		Seed:                     o.Seed,
+		Threads:                  eval.Threads(),
+		CacheShards:              eval.CacheShards(),
+		Candidates:               len(cands),
+		Positives:                len(posEx),
+		Negatives:                len(negEx),
+		Rounds:                   rounds,
+		PrepareSeconds:           prepare.Seconds(),
+		SnapshotHit:              outcome.Hit,
+		LoadSeconds:              outcome.LoadTime.Seconds(),
+		SnapshotBytes:            len(snapData),
+		FullScoreSeconds:         full.Seconds(),
+		CoverTestsPerSecond:      tests / full.Seconds(),
+		BatchScoreSeconds:        batch.Seconds(),
+		BatchEarlyExits:          earlyExits,
+		CandidateParallelism:     candPar,
+		CandidatePoolPositives:   len(poolPos),
+		CandidatePoolNegatives:   len(poolNeg),
+		CandidateSerialSeconds:   candSerial.Seconds(),
+		CandidateParallelSeconds: candParallel.Seconds(),
+		CandidateEarlyExits:      candEarlyExits,
+		SnapshotStoreBytes:       storeBytes,
+		SnapshotStoreFiles:       storeFiles,
+		SnapshotMaxBytes:         o.SnapshotMaxBytes,
+		SnapshotSweepRemoved:     sweepRemoved,
 	}
 	if batch > 0 {
 		s.BatchSpeedup = full.Seconds() / batch.Seconds()
@@ -250,12 +329,34 @@ func RunCoverage(ctx context.Context, o Options) (CoverageSummary, error) {
 	if s.LoadSeconds > 0 {
 		s.WarmSpeedup = s.PrepareSeconds / s.LoadSeconds
 	}
+	if candParallel > 0 {
+		s.CandidateParallelSpeedup = candSerial.Seconds() / candParallel.Seconds()
+	}
 	fprintf(w, "  candidates=%d positives=%d negatives=%d rounds=%d threads=%d shards=%d\n",
 		s.Candidates, s.Positives, s.Negatives, s.Rounds, s.Threads, s.CacheShards)
 	fprintf(w, "  prepare=%.3fs  load=%.3fs (hit=%v, %.0fx warm speedup)  full=%.3fs (%.0f cover tests/s)  batch=%.3fs (%.2fx, %d early exits)\n",
 		s.PrepareSeconds, s.LoadSeconds, s.SnapshotHit, s.WarmSpeedup,
 		s.FullScoreSeconds, s.CoverTestsPerSecond, s.BatchScoreSeconds, s.BatchSpeedup, s.BatchEarlyExits)
+	fprintf(w, "  candidate tier (pool %dp+%dn): serial=%.3fs  parallel[%d]=%.3fs (%.2fx, %d early exits)\n",
+		s.CandidatePoolPositives, s.CandidatePoolNegatives, s.CandidateSerialSeconds,
+		s.CandidateParallelism, s.CandidateParallelSeconds, s.CandidateParallelSpeedup, s.CandidateEarlyExits)
+	fprintf(w, "  snapshot store: %d files, %d bytes", s.SnapshotStoreFiles, s.SnapshotStoreBytes)
+	if s.SnapshotMaxBytes > 0 {
+		fprintf(w, " (cap %d, sweep removed %d)", s.SnapshotMaxBytes, s.SnapshotSweepRemoved)
+	}
+	fprintf(w, "\n")
 	return s, nil
+}
+
+// smallPool trims a prepared-example slice to the small-example-pool
+// workload: at most 8 examples, fewer than the inner worker pool on the
+// thread counts the paper uses, so candidate-level parallelism is the only
+// way to keep the machine busy.
+func smallPool(exs []*coverage.Example) []*coverage.Example {
+	if len(exs) > 8 {
+		return exs[:8]
+	}
+	return exs
 }
 
 // WriteCoverageJSON writes the coverage summary as indented JSON to path.

@@ -32,6 +32,19 @@ func TestCoverageSummaryRoundTrip(t *testing.T) {
 		BatchScoreSeconds:   0.9,
 		BatchEarlyExits:     5,
 		BatchSpeedup:        1.67,
+
+		CandidateParallelism:     4,
+		CandidatePoolPositives:   8,
+		CandidatePoolNegatives:   8,
+		CandidateSerialSeconds:   0.8,
+		CandidateParallelSeconds: 0.3,
+		CandidateParallelSpeedup: 2.67,
+		CandidateEarlyExits:      9,
+
+		SnapshotStoreBytes:   123456,
+		SnapshotStoreFiles:   1,
+		SnapshotMaxBytes:     1 << 30,
+		SnapshotSweepRemoved: 2,
 	}
 	path := filepath.Join(t.TempDir(), "BENCH_coverage.json")
 	if err := WriteCoverageJSON(path, want); err != nil {
@@ -60,6 +73,11 @@ func TestCoverageSummaryRoundTrip(t *testing.T) {
 		"prepare_seconds", "snapshot_hit", "load_seconds", "snapshot_bytes",
 		"warm_speedup", "full_score_seconds", "cover_tests_per_second",
 		"batch_score_seconds", "batch_early_exits", "batch_speedup",
+		"candidate_parallelism", "candidate_pool_positives", "candidate_pool_negatives",
+		"candidate_serial_seconds", "candidate_parallel_seconds",
+		"candidate_parallel_speedup", "candidate_early_exits",
+		"snapshot_store_bytes", "snapshot_store_files",
+		"snapshot_max_bytes", "snapshot_sweep_removed",
 	} {
 		if _, ok := raw[key]; !ok {
 			t.Errorf("BENCH_coverage.json is missing key %q", key)
@@ -89,6 +107,48 @@ func TestRunCoverageQuick(t *testing.T) {
 	}
 	if s.LoadSeconds <= 0 || s.SnapshotBytes <= 0 || s.WarmSpeedup <= 0 {
 		t.Errorf("missing snapshot measurements: %+v", s)
+	}
+	if s.CandidateParallelism <= 0 || s.CandidateSerialSeconds <= 0 || s.CandidateParallelSeconds <= 0 {
+		t.Errorf("missing candidate-tier measurements: %+v", s)
+	}
+	if s.CandidatePoolPositives <= 0 || s.CandidatePoolPositives > 8 ||
+		s.CandidatePoolNegatives <= 0 || s.CandidatePoolNegatives > 8 {
+		t.Errorf("candidate tier did not run on the small example pool: %+v", s)
+	}
+	if s.SnapshotStoreBytes <= 0 || s.SnapshotStoreFiles != 1 {
+		t.Errorf("missing store occupancy: %+v", s)
+	}
+}
+
+// TestRunCoverageSnapshotCap checks the -snapshot-max-bytes plumbing: a cap
+// triggers the LRU sweep and the post-sweep occupancy honours it (the
+// snapshot just written is always kept).
+func TestRunCoverageSnapshotCap(t *testing.T) {
+	dir := t.TempDir()
+	// A pre-existing stale snapshot that the sweep must reclaim.
+	stale := filepath.Join(dir, "0000000000000000000000000000000000000000000000000000000000000000.dlsnap")
+	if err := os.WriteFile(stale, make([]byte, 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := QuickOptions()
+	o.Out = io.Discard
+	o.SnapshotDir = dir
+	o.SnapshotMaxBytes = 8192 // smaller than stale + fresh snapshots
+	s, err := RunCoverage(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SnapshotMaxBytes != 8192 {
+		t.Errorf("cap not recorded: %+v", s)
+	}
+	if s.SnapshotSweepRemoved < 1 {
+		t.Errorf("sweep removed %d snapshots, want at least the stale one", s.SnapshotSweepRemoved)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale snapshot survived the sweep: %v", err)
+	}
+	if s.SnapshotStoreFiles != 1 {
+		t.Errorf("store holds %d files after sweep, want 1 (the fresh snapshot)", s.SnapshotStoreFiles)
 	}
 }
 

@@ -96,6 +96,13 @@ type Config struct {
 	MaxClauses int
 	// Threads is the worker-pool size for coverage testing.
 	Threads int
+	// CandidateParallelism is the outer tier of the two-tier coverage
+	// scheduler: how many independent candidate clauses of a refinement
+	// sample are scored concurrently, each batch running on the inner
+	// Threads pool. Zero means coverage.DefaultCandidateParallelism. The
+	// learned definition is identical for every value (the scheduler's
+	// shared floor only prunes candidates that provably lose).
+	CandidateParallelism int
 	// EvalCacheShards is the number of lock stripes in the coverage
 	// evaluator's memo tables. Zero means coverage.DefaultCacheShards.
 	EvalCacheShards int
@@ -129,6 +136,7 @@ func DefaultConfig() Config {
 		MaxNegativeFraction:  0.3,
 		MaxClauses:           12,
 		Threads:              16,
+		CandidateParallelism: coverage.DefaultCandidateParallelism,
 		Seed:                 1,
 		Subsumption:          subsumption.Options{MaxNodes: 20000},
 		Repair:               repair.Options{MaxClauses: 16, MaxStates: 512},
@@ -210,6 +218,9 @@ func NewLearner(cfg Config) *Learner {
 	if cfg.Threads <= 0 {
 		cfg.Threads = DefaultConfig().Threads
 	}
+	if cfg.CandidateParallelism <= 0 {
+		cfg.CandidateParallelism = coverage.DefaultCandidateParallelism
+	}
 	if cfg.MaxNegativeFraction <= 0 {
 		cfg.MaxNegativeFraction = DefaultConfig().MaxNegativeFraction
 	}
@@ -253,10 +264,11 @@ func (l *Learner) LearnContext(ctx context.Context, p Problem) (*logic.Definitio
 
 	builder := bottomclause.NewBuilder(p.Instance, p.Target, p.MDs, p.CFDs, l.cfg.BottomClause)
 	eval := coverage.NewEvaluator(coverage.Options{
-		Subsumption: l.cfg.Subsumption,
-		Repair:      l.cfg.Repair,
-		Threads:     l.cfg.Threads,
-		CacheShards: l.cfg.EvalCacheShards,
+		Subsumption:          l.cfg.Subsumption,
+		Repair:               l.cfg.Repair,
+		Threads:              l.cfg.Threads,
+		CandidateParallelism: l.cfg.CandidateParallelism,
+		CacheShards:          l.cfg.EvalCacheShards,
 	})
 	rng := rand.New(rand.NewSource(l.cfg.Seed))
 
@@ -309,22 +321,23 @@ func (l *Learner) LearnContext(ctx context.Context, p Problem) (*logic.Definitio
 
 	coveringStart := time.Now()
 	def := &logic.Definition{Target: p.Target.Name}
-	uncovered := make([]int, len(p.Pos))
-	for i := range uncovered {
-		uncovered[i] = i
-	}
+	// uncovered is the coverage frontier as a bitmap: bit i set while
+	// positive example i is not yet covered by an accepted clause. Accepted
+	// clauses subtract their coverage bitmap (computed once, during the
+	// acceptance test) instead of being rescored in later iterations.
+	uncovered := coverage.FullBits(len(p.Pos))
 
 	iteration := 0
-	for len(uncovered) > 0 && def.Len() < l.cfg.MaxClauses {
+	for uncovered.Any() && def.Len() < l.cfg.MaxClauses {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
 		// Pick the seed: the first uncovered positive example (deterministic
 		// given the example order and the seed-driven shuffles below).
-		seedIdx := uncovered[0]
+		seedIdx := uncovered.Next(0)
 		iteration++
 		report.SeedsTried++
-		l.obs.Observe(observe.IterationStarted{Iteration: iteration, SeedIndex: seedIdx, Uncovered: len(uncovered)})
+		l.obs.Observe(observe.IterationStarted{Iteration: iteration, SeedIndex: seedIdx, Uncovered: uncovered.Count()})
 
 		bottom, err := builder.BottomClause(p.Pos[seedIdx])
 		if err != nil {
@@ -343,9 +356,16 @@ func (l *Learner) LearnContext(ctx context.Context, p Problem) (*logic.Definitio
 			searchNeg = searchNeg[:l.cfg.NegativeSearchSample]
 		}
 
+		// The progress measure of the hill-climb counts only still-uncovered
+		// positives; the pool is stable within an iteration (the frontier
+		// only changes on acceptance), so it is materialized once.
+		pool := l.uncoveredPool(posEx, uncovered)
+
 		// Hill-climb: in each step, generalize the current clause toward a
-		// sample of uncovered positive examples and keep the best-scoring
-		// candidate, until the score stops improving (Section 4.2).
+		// sample of uncovered positive examples, score the resulting
+		// candidates concurrently through the two-tier scheduler, and keep
+		// the best-scoring candidate, until the score stops improving
+		// (Section 4.2).
 		for {
 			if err := ctx.Err(); err != nil {
 				return nil, nil, err
@@ -354,9 +374,10 @@ func (l *Learner) LearnContext(ctx context.Context, p Problem) (*logic.Definitio
 			if len(sample) == 0 {
 				break
 			}
-			best := current
-			bestScore := currentScore
-			improved := false
+			// Generalization is sequential — each candidate derives from the
+			// same incumbent — and cheap next to scoring; the candidates it
+			// produces are independent and scored concurrently below.
+			var cands []logic.Clause
 			for _, ei := range sample {
 				if err := ctx.Err(); err != nil {
 					return nil, nil, err
@@ -371,19 +392,37 @@ func (l *Learner) LearnContext(ctx context.Context, p Problem) (*logic.Definitio
 				if !ok {
 					continue
 				}
-				report.ClausesConsidered++
-				// Score with the incumbent's value as the floor: the batch
-				// stops as soon as the candidate provably cannot beat it, and
-				// a non-exact result means exactly that, so it is discarded.
-				score, exact := l.scoreOnUncovered(ctx, eval, cand, posEx, uncovered, searchNeg, bestScore.Value())
-				if exact && score.Value() > bestScore.Value() {
-					best, bestScore, improved = cand, score, true
+				cands = append(cands, cand)
+			}
+			report.ClausesConsidered += len(cands)
+			// Score the independent candidates concurrently with the
+			// incumbent's value as the shared floor: each batch stops as soon
+			// as its candidate provably cannot beat the best lower-indexed
+			// score seen so far, and a non-exact result means exactly that,
+			// so BestCandidate discards it. The selection is identical to
+			// scoring the candidates one by one.
+			results := eval.ScoreCandidates(ctx, cands, pool, searchNeg, currentScore.Value(), 0)
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			bestIdx, bestScore, improved := coverage.BestCandidate(results, currentScore.Value())
+			earlyExited := 0
+			for _, r := range results {
+				if !r.Exact {
+					earlyExited++
 				}
 			}
+			l.obs.Observe(observe.CandidateBatchScored{
+				Iteration:   iteration,
+				Candidates:  len(cands),
+				Parallelism: eval.CandidateWorkers(len(cands), 0),
+				EarlyExited: earlyExited,
+				Improved:    improved,
+			})
 			if !improved {
 				break
 			}
-			current, currentScore = best, bestScore
+			current, currentScore = cands[bestIdx], bestScore
 			l.obs.Observe(observe.CoverageProgress{
 				Iteration:         iteration,
 				ClausesConsidered: report.ClausesConsidered,
@@ -392,8 +431,16 @@ func (l *Learner) LearnContext(ctx context.Context, p Problem) (*logic.Definitio
 			})
 		}
 
-		// Acceptance test over the full training set.
-		full := eval.ScoreClauseExamples(ctx, current, posEx, negEx)
+		// Acceptance test over the full training set. The positive side is
+		// computed as a coverage bitmap, so the accepted clause's coverage is
+		// known the moment it is accepted — the clause is never rescored: the
+		// bitmap's count is the acceptance statistic and its subtraction from
+		// the frontier replaces the old per-acceptance rescoring pass.
+		posBits := eval.CoverageBits(ctx, current, posEx)
+		full := coverage.Score{
+			PositivesCovered: posBits.Count(),
+			NegativesCovered: eval.CountNegativeExamples(ctx, current, negEx),
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
@@ -405,21 +452,20 @@ func (l *Learner) LearnContext(ctx context.Context, p Problem) (*logic.Definitio
 				NegativesCovered: full.NegativesCovered,
 				Score:            full.PositivesCovered - full.NegativesCovered,
 			})
-			covered := eval.CoveredPositiveExamples(ctx, current, posEx)
-			uncovered = subtract(uncovered, covered)
+			uncovered.AndNot(posBits)
 			// The seed must leave the pool even if the accepted clause
 			// somehow fails to cover it (conservative coverage testing),
 			// otherwise the loop would not terminate.
-			uncovered = subtract(uncovered, []int{seedIdx})
+			uncovered.Clear(seedIdx)
 			l.obs.Observe(observe.ClauseAccepted{
 				Iteration: iteration,
 				Clause:    current.String(),
 				Positives: full.PositivesCovered,
 				Negatives: full.NegativesCovered,
-				Uncovered: len(uncovered),
+				Uncovered: uncovered.Count(),
 			})
 		} else {
-			uncovered = subtract(uncovered, []int{seedIdx})
+			uncovered.Clear(seedIdx)
 			l.obs.Observe(observe.ClauseRejected{
 				Iteration: iteration,
 				Clause:    current.String(),
@@ -429,7 +475,7 @@ func (l *Learner) LearnContext(ctx context.Context, p Problem) (*logic.Definitio
 		}
 	}
 
-	report.UncoveredPositives = len(uncovered)
+	report.UncoveredPositives = uncovered.Count()
 	report.Duration = time.Since(start)
 	l.obs.Observe(observe.PhaseDone{Phase: observe.PhaseCovering, Duration: time.Since(coveringStart)})
 	l.obs.Observe(observe.RunFinished{
@@ -457,24 +503,24 @@ func (l *Learner) groundAll(ctx context.Context, builder *bottomclause.Builder, 
 	return out, nil
 }
 
-// scoreOnUncovered scores a clause counting only the still-uncovered
-// positive examples (the covering algorithm's progress measure) and the
-// sampled negative examples, early-exiting once the score cannot exceed the
-// floor. The boolean result reports whether the score is exact (see
-// coverage.ScoreBatch).
-func (l *Learner) scoreOnUncovered(ctx context.Context, eval *coverage.Evaluator, c logic.Clause, posEx []*coverage.Example, uncovered []int, negEx []*coverage.Example, floor int) (coverage.Score, bool) {
-	pool := make([]*coverage.Example, len(uncovered))
-	for i, idx := range uncovered {
-		pool[i] = posEx[idx]
+// uncoveredPool materializes the prepared examples of the still-uncovered
+// positives (the covering algorithm's progress measure) in index order.
+func (l *Learner) uncoveredPool(posEx []*coverage.Example, uncovered *coverage.Bits) []*coverage.Example {
+	pool := make([]*coverage.Example, 0, uncovered.Count())
+	for i := uncovered.Next(0); i >= 0; i = uncovered.Next(i + 1) {
+		pool = append(pool, posEx[i])
 	}
-	return eval.ScoreBatch(ctx, c, pool, negEx, floor)
+	return pool
 }
 
 // sampleUncovered picks up to GeneralizationSample uncovered positive
-// example indices, excluding the seed.
-func (l *Learner) sampleUncovered(rng *rand.Rand, uncovered []int, seed int) []int {
+// example indices, excluding the seed. The pool is assembled in ascending
+// index order — the same order the pre-bitmap uncovered slice had — so the
+// seed-driven shuffle consumes the RNG identically and learned definitions
+// stay byte-identical across representations.
+func (l *Learner) sampleUncovered(rng *rand.Rand, uncovered *coverage.Bits, seed int) []int {
 	var pool []int
-	for _, i := range uncovered {
+	for i := uncovered.Next(0); i >= 0; i = uncovered.Next(i + 1) {
 		if i != seed {
 			pool = append(pool, i)
 		}
@@ -485,20 +531,5 @@ func (l *Learner) sampleUncovered(rng *rand.Rand, uncovered []int, seed int) []i
 	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
 	out := append([]int(nil), pool[:l.cfg.GeneralizationSample]...)
 	sort.Ints(out)
-	return out
-}
-
-// subtract removes the members of b from a, preserving order.
-func subtract(a, b []int) []int {
-	drop := make(map[int]bool, len(b))
-	for _, x := range b {
-		drop[x] = true
-	}
-	out := a[:0]
-	for _, x := range a {
-		if !drop[x] {
-			out = append(out, x)
-		}
-	}
 	return out
 }

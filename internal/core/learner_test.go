@@ -5,6 +5,7 @@ import (
 
 	"dlearn/internal/bottomclause"
 	"dlearn/internal/constraints"
+	"dlearn/internal/coverage"
 	"dlearn/internal/logic"
 	"dlearn/internal/relation"
 )
@@ -203,9 +204,17 @@ func TestLearnerConfigDefaults(t *testing.T) {
 	}
 }
 
-func TestSubtract(t *testing.T) {
-	got := subtract([]int{1, 2, 3, 4}, []int{2, 4})
-	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
-		t.Errorf("subtract = %v", got)
+func TestUncoveredBitmapSubtract(t *testing.T) {
+	unc := coverage.FullBits(5)
+	covered := coverage.NewBits(5)
+	covered.Set(1)
+	covered.Set(3)
+	unc.AndNot(covered)
+	if got := unc.Indices(); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 4 {
+		t.Errorf("uncovered after AndNot = %v, want [0 2 4]", got)
+	}
+	unc.Clear(0)
+	if unc.Count() != 2 || unc.Next(0) != 2 {
+		t.Errorf("after Clear(0): count=%d first=%d", unc.Count(), unc.Next(0))
 	}
 }

@@ -25,6 +25,11 @@ type Options struct {
 	// Threads is the worker-pool size for batch scoring. Zero means
 	// runtime.NumCPU().
 	Threads int
+	// CandidateParallelism is the outer-tier worker count of the candidate
+	// scheduler: how many independent candidates ScoreCandidates keeps in
+	// flight at once (each running its batch on the inner Threads pool).
+	// Zero means DefaultCandidateParallelism.
+	CandidateParallelism int
 	// CacheShards is the number of lock stripes per memo table (rounded up
 	// to a power of two). Zero means DefaultCacheShards.
 	CacheShards int
@@ -40,6 +45,7 @@ type Evaluator struct {
 	checker *subsumption.Checker
 	repOpts repair.Options
 	threads int
+	candPar int
 
 	repCache   *shardedCache[[]logic.Clause]
 	cfdCache   *shardedCache[[]logic.Clause]
@@ -53,10 +59,15 @@ func NewEvaluator(opts Options) *Evaluator {
 	if threads <= 0 {
 		threads = runtime.NumCPU()
 	}
+	candPar := opts.CandidateParallelism
+	if candPar <= 0 {
+		candPar = DefaultCandidateParallelism
+	}
 	return &Evaluator{
 		checker:    subsumption.New(opts.Subsumption),
 		repOpts:    opts.Repair,
 		threads:    threads,
+		candPar:    candPar,
 		repCache:   newShardedCache[[]logic.Clause](opts.CacheShards),
 		cfdCache:   newShardedCache[[]logic.Clause](opts.CacheShards),
 		stripCache: newShardedCache[logic.Clause](opts.CacheShards),
@@ -66,6 +77,10 @@ func NewEvaluator(opts Options) *Evaluator {
 
 // Threads returns the worker-pool size used for batch scoring.
 func (e *Evaluator) Threads() int { return e.threads }
+
+// CandidateParallelism returns the outer-tier worker count of the candidate
+// scheduler.
+func (e *Evaluator) CandidateParallelism() int { return e.candPar }
 
 // CacheShards returns the number of lock stripes per memo table.
 func (e *Evaluator) CacheShards() int { return len(e.repCache.shards) }

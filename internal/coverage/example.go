@@ -2,6 +2,7 @@ package coverage
 
 import (
 	"context"
+	"sync/atomic"
 
 	"dlearn/internal/logic"
 	"dlearn/internal/repair"
@@ -23,7 +24,17 @@ type Example struct {
 	stripped *subsumption.Prepared
 	cfdExp   []*subsumption.Prepared
 	repaired []*subsumption.Prepared
+
+	// heat counts the bound-closing events this example produced across the
+	// batches that scored it: misses when used as a positive, covers when
+	// used as a negative. ScoreBatch schedules the hottest examples first so
+	// the early-exit bound closes as soon as possible (see adaptiveOrder).
+	// Maintained atomically by the evaluator's workers.
+	heat atomic.Int64
 }
+
+// Heat returns the example's accumulated bound-closing event count.
+func (ex *Example) Heat() int64 { return ex.heat.Load() }
 
 // NewExample prepares a ground bottom clause for repeated coverage tests.
 func (e *Evaluator) NewExample(ctx context.Context, ground logic.Clause) *Example {

@@ -1,0 +1,152 @@
+package coverage
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"dlearn/internal/logic"
+)
+
+// DefaultCandidateParallelism is the default outer-tier worker count of the
+// candidate scheduler: how many independent candidate clauses are scored
+// concurrently. Each in-flight candidate runs its batch on the evaluator's
+// inner worker pool, so the two tiers together keep Threads × parallelism
+// coverage tests in flight — the configuration that keeps 16+ threads busy
+// when the example pool is smaller than the thread count.
+const DefaultCandidateParallelism = 4
+
+// CandidateResult is the scheduler's verdict on one candidate clause.
+type CandidateResult struct {
+	// Score is the candidate's coverage score; a partial tally when Exact is
+	// false.
+	Score Score
+	// Exact reports whether the batch ran to completion (see ScoreBatch).
+	Exact bool
+}
+
+// incomplete marks a candidate whose exact value is not (yet) known in the
+// scheduler's shared value table.
+const incomplete = math.MinInt64
+
+// ScoreCandidates scores the independent candidate clauses of one refinement
+// sample concurrently — the outer tier of the two-tier scheduler. Each
+// candidate's batch still runs on the evaluator's inner worker pool
+// (ScoreBatch), and candidates share the incumbent floor through an atomic
+// value table: a candidate early-exits against the best exact score already
+// known for a LOWER-indexed candidate.
+//
+// Restricting the shared floor to lower indices is what makes the result
+// independent of scheduling: the serial hill-climb keeps candidate i only if
+// its value strictly exceeds every earlier candidate's, so a floor taken
+// from any completed j < i prunes only candidates the serial loop would have
+// discarded anyway, while a floor from j > i could prune a tie that the
+// serial loop (and BestCandidate's lowest-index tie-break) would have
+// selected. Selecting the winner with BestCandidate therefore yields the
+// same clause for any parallelism and any interleaving, which is what keeps
+// learned definitions byte-identical across thread counts.
+//
+// parallelism ≤ 0 selects the evaluator's configured candidate parallelism.
+// The floor is the incumbent's score value; candidates that cannot strictly
+// exceed it come back non-exact and are never selected.
+func (e *Evaluator) ScoreCandidates(ctx context.Context, cands []logic.Clause, pos, neg []*Example, floor int, parallelism int) []CandidateResult {
+	n := len(cands)
+	results := make([]CandidateResult, n)
+	if n == 0 {
+		return results
+	}
+	parallelism = e.CandidateWorkers(n, parallelism)
+
+	// vals[i] holds candidate i's exact score value once known; incomplete
+	// until then. Workers read it lock-free to assemble prefix floors.
+	vals := make([]atomic.Int64, n)
+	for i := range vals {
+		vals[i].Store(incomplete)
+	}
+	// prefixFloor is the best exact value among completed candidates j < i,
+	// never below the incumbent floor. Missing (still-running) predecessors
+	// only make the floor lower, i.e. the pruning conservative.
+	prefixFloor := func(i int) int {
+		f := int64(floor)
+		for j := 0; j < i; j++ {
+			if v := vals[j].Load(); v != incomplete && v > f {
+				f = v
+			}
+		}
+		return int(f)
+	}
+	score := func(i int) {
+		// The floor is re-read live as the batch runs: a candidate started
+		// against a low floor exits as soon as a lower-indexed candidate
+		// completes with a value its bound cannot beat, instead of finishing
+		// against the stale floor it was scheduled with.
+		s, exact := e.scoreBatchDynamic(ctx, cands[i], pos, neg, func() int { return prefixFloor(i) })
+		results[i] = CandidateResult{Score: s, Exact: exact}
+		if exact {
+			vals[i].Store(int64(s.Value()))
+		}
+	}
+
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			score(i)
+		}
+		return results
+	}
+	// Workers drain candidates in index order so low-indexed candidates —
+	// the ones whose values raise everyone else's floor — finish first.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				score(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// CandidateWorkers returns the outer-tier worker count ScoreCandidates
+// actually uses for an n-candidate batch under the requested parallelism
+// (≤ 0 selects the evaluator's configured value): never more workers than
+// candidates, never fewer than one. Exposed so callers reporting scheduler
+// activity (observer events) describe the concurrency that really ran, not
+// the configured ceiling.
+func (e *Evaluator) CandidateWorkers(n, parallelism int) int {
+	if parallelism <= 0 {
+		parallelism = e.candPar
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return parallelism
+}
+
+// BestCandidate selects the winning candidate from a scheduler result: the
+// lowest-indexed exact result whose value strictly exceeds both the floor
+// and every other exact value. This is exactly the clause the serial
+// hill-climb keeps (its incumbent is replaced only on strict improvement, so
+// the first candidate to attain the maximum wins ties); returning ok=false
+// means no candidate improved on the floor.
+func BestCandidate(results []CandidateResult, floor int) (idx int, best Score, ok bool) {
+	idx = -1
+	for i, r := range results {
+		if r.Exact && r.Score.Value() > floor {
+			floor = r.Score.Value()
+			idx, best, ok = i, r.Score, true
+		}
+	}
+	return idx, best, ok
+}

@@ -1,12 +1,17 @@
-// Package docscheck is the repository's documentation link checker: a test
-// that walks every Markdown file at the repo root and under docs/ and
-// verifies that relative links resolve to files that exist (including
-// heading anchors within this repository's own files). CI runs it as the
-// docs job; locally it is part of the ordinary test suite, so a moved or
-// renamed document breaks the build instead of the docs.
+// Package docscheck is the repository's documentation checker: tests that
+// walk every Markdown file at the repo root and under docs/ and verify that
+// (a) relative links resolve to files that exist (including heading anchors
+// within this repository's own files) and (b) references to Go identifiers
+// of the public dlearn package — `dlearn.Foo` mentions and option functions
+// like `WithThreads(n)` — name identifiers that still exist, so an API
+// rename breaks the build instead of silently stranding the README. CI runs
+// it as the docs job; locally it is part of the ordinary test suite.
 package docscheck
 
 import (
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -135,6 +140,88 @@ func TestArchitectureDocIsLinked(t *testing.T) {
 	}
 	if !strings.Contains(string(readme), "docs/ARCHITECTURE.md") {
 		t.Error("README.md does not link docs/ARCHITECTURE.md")
+	}
+}
+
+// publicIdentifiers parses the non-test Go files of the root dlearn package
+// and returns every top-level declared name: functions, types (including
+// aliases), consts and vars. Methods are excluded — docs reference them
+// through a value, not as dlearn.X.
+func publicIdentifiers(t *testing.T) map[string]bool {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(repoRoot, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, path := range paths {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil {
+					names[d.Name.Name] = true
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						names[s.Name.Name] = true
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							names[n.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no public identifiers found; is repoRoot wrong?")
+	}
+	return names
+}
+
+// qualifiedRefPattern matches dlearn.Identifier references anywhere in a
+// Markdown file (code spans and fenced blocks included — both document the
+// public API).
+var qualifiedRefPattern = regexp.MustCompile(`\bdlearn\.([A-Z][A-Za-z0-9_]*)`)
+
+// optionRefPattern matches option-function references in code spans, e.g.
+// `WithThreads(n)` or `WithSnapshotStore(s)`. The With prefix is the public
+// API's option naming convention, so a code span leading with it is an API
+// reference, not prose.
+var optionRefPattern = regexp.MustCompile("`(With[A-Z][A-Za-z0-9_]*)")
+
+// TestMarkdownAPIReferencesExist fails on any Markdown reference to a public
+// dlearn identifier that is no longer declared — the docs-drift guard for
+// the sections that document engine options, observer events and
+// persistence types.
+func TestMarkdownAPIReferencesExist(t *testing.T) {
+	names := publicIdentifiers(t)
+	for _, file := range markdownFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("reading %s: %v", file, err)
+		}
+		text := string(data)
+		for _, m := range qualifiedRefPattern.FindAllStringSubmatch(text, -1) {
+			if !names[m[1]] {
+				t.Errorf("%s: references dlearn.%s, which is not declared in the public API", displayPath(file), m[1])
+			}
+		}
+		for _, m := range optionRefPattern.FindAllStringSubmatch(text, -1) {
+			if !names[m[1]] {
+				t.Errorf("%s: references option %s, which is not declared in the public API", displayPath(file), m[1])
+			}
+		}
 	}
 }
 

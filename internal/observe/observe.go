@@ -62,6 +62,24 @@ type CoverageProgress struct {
 	BestPositives, BestNegatives int
 }
 
+// CandidateBatchScored is emitted after the candidate scheduler scores one
+// hill-climbing step's refinement sample: the independent candidate clauses
+// were scored concurrently (the outer tier), each batch running on the
+// evaluator's example worker pool (the inner tier), sharing the incumbent
+// floor so losing candidates exit early.
+type CandidateBatchScored struct {
+	Iteration int
+	// Candidates is the number of candidate clauses in the batch.
+	Candidates int
+	// Parallelism is the outer-tier worker count the scheduler used.
+	Parallelism int
+	// EarlyExited is how many candidates were pruned mid-batch by the shared
+	// floor (non-exact results).
+	EarlyExited int
+	// Improved reports whether some candidate beat the incumbent.
+	Improved bool
+}
+
 // ClauseAccepted is emitted when an iteration's best clause passes the
 // acceptance test and joins the definition.
 type ClauseAccepted struct {
@@ -152,17 +170,18 @@ type RunFinished struct {
 	Duration time.Duration
 }
 
-func (RunStarted) isEvent()          {}
-func (PhaseDone) isEvent()           {}
-func (IterationStarted) isEvent()    {}
-func (CoverageProgress) isEvent()    {}
-func (ClauseAccepted) isEvent()      {}
-func (ClauseRejected) isEvent()      {}
-func (SnapshotHit) isEvent()         {}
-func (SnapshotMiss) isEvent()        {}
-func (SnapshotWritten) isEvent()     {}
-func (SnapshotWriteFailed) isEvent() {}
-func (RunFinished) isEvent()         {}
+func (RunStarted) isEvent()           {}
+func (PhaseDone) isEvent()            {}
+func (IterationStarted) isEvent()     {}
+func (CoverageProgress) isEvent()     {}
+func (CandidateBatchScored) isEvent() {}
+func (ClauseAccepted) isEvent()       {}
+func (ClauseRejected) isEvent()       {}
+func (SnapshotHit) isEvent()          {}
+func (SnapshotMiss) isEvent()         {}
+func (SnapshotWritten) isEvent()      {}
+func (SnapshotWriteFailed) isEvent()  {}
+func (RunFinished) isEvent()          {}
 
 // Observer receives the events of a learning run.
 type Observer interface {

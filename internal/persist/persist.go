@@ -29,6 +29,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"time"
 )
 
 // ErrNotFound is returned by Store.Load when no snapshot exists for a key.
@@ -47,13 +50,26 @@ type Store interface {
 // snapshotExt is the file extension of DirStore snapshot files.
 const snapshotExt = ".dlsnap"
 
+// tmpMaxAge is how old an orphaned temp file (left by a crashed writer) must
+// be before Compact removes it. Young temp files may belong to an in-flight
+// Save and are left alone.
+const tmpMaxAge = time.Hour
+
 // DirStore is a filesystem-backed Store: one file per key, named by the
 // key's hex form, inside a single directory. The directory is created on
 // first Save. Writes are atomic (temp file plus rename), so a crashed or
 // concurrent writer can leave at worst a stale temp file, never a torn
 // snapshot under a final name.
+//
+// Snapshots are content-addressed, so one blob per fingerprint accumulates
+// forever as inputs evolve — every edited tuple or tweaked budget mints a
+// new key and orphans the old file. SetMaxBytes caps the directory: Save
+// sweeps least-recently-used snapshots (Load refreshes a snapshot's mtime,
+// so recently served keys survive) until the store fits, and Compact runs
+// the same sweep on demand.
 type DirStore struct {
-	dir string
+	dir      string
+	maxBytes int64
 }
 
 // NewDirStore returns a store rooted at dir. The directory does not need to
@@ -63,19 +79,36 @@ func NewDirStore(dir string) *DirStore { return &DirStore{dir: dir} }
 // Dir returns the directory the store writes to.
 func (s *DirStore) Dir() string { return s.dir }
 
+// SetMaxBytes caps the store's total snapshot size: after every Save
+// (and on Compact) least-recently-used snapshots are removed until the
+// directory holds at most n bytes. Zero (the default) means unbounded.
+// It returns the store for chaining.
+func (s *DirStore) SetMaxBytes(n int64) *DirStore {
+	s.maxBytes = n
+	return s
+}
+
+// MaxBytes returns the configured size cap; zero means unbounded.
+func (s *DirStore) MaxBytes() int64 { return s.maxBytes }
+
 func (s *DirStore) path(key Key) string {
 	return filepath.Join(s.dir, key.String()+snapshotExt)
 }
 
-// Load reads the snapshot file for the key.
+// Load reads the snapshot file for the key. A hit refreshes the file's
+// modification time (best effort), so the size-capped sweep removes
+// least-recently-used snapshots rather than least-recently-written ones.
 func (s *DirStore) Load(key Key) ([]byte, error) {
-	data, err := os.ReadFile(s.path(key))
+	path := s.path(key)
+	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, ErrNotFound
 	}
 	if err != nil {
 		return nil, fmt.Errorf("persist: loading snapshot %s: %w", key, err)
 	}
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
 	return data, nil
 }
 
@@ -102,5 +135,134 @@ func (s *DirStore) Save(key Key, data []byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("persist: committing snapshot %s: %w", key, err)
 	}
+	if s.maxBytes > 0 {
+		// A failed sweep must not fail the write: the snapshot itself landed.
+		// The just-written snapshot is excluded from the sweep explicitly —
+		// on filesystems with coarse mtime granularity it could otherwise tie
+		// with a stale sibling and lose the LRU ordering.
+		_, _ = s.compact(s.path(key))
+	}
 	return nil
+}
+
+// CompactStats reports what a sweep removed and what remains.
+type CompactStats struct {
+	// Removed and RemovedBytes count the snapshot files the LRU sweep
+	// deleted (temp files are accounted separately).
+	Removed      int
+	RemovedBytes int64
+	// TempRemoved counts aged orphan temp files reclaimed by the sweep.
+	TempRemoved int
+	// Remaining and RemainingBytes describe the store's snapshots after the
+	// sweep.
+	Remaining      int
+	RemainingBytes int64
+}
+
+// Compact sweeps the store: orphaned temp files older than an hour are
+// removed unconditionally, and — when a size cap is set — the
+// least-recently-used snapshots (oldest modification time; Load refreshes
+// it) are removed until the remaining snapshots fit in MaxBytes. The
+// most-recently-used snapshot is never removed even if it alone exceeds the
+// cap, so a store whose cap is smaller than one snapshot still serves warm
+// starts for the live fingerprint.
+func (s *DirStore) Compact() (CompactStats, error) { return s.compact("") }
+
+// compact implements Compact; a non-empty protect path (the snapshot a Save
+// just wrote) is never swept regardless of its timestamp.
+func (s *DirStore) compact(protect string) (CompactStats, error) {
+	var stats CompactStats
+	entries, err := os.ReadDir(s.dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return stats, nil
+	}
+	if err != nil {
+		return stats, fmt.Errorf("persist: compacting snapshot dir: %w", err)
+	}
+
+	type snapFile struct {
+		path    string
+		size    int64
+		mtime   time.Time
+		removed bool
+	}
+	var snaps []snapFile
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // raced with a concurrent sweep; skip
+		}
+		path := filepath.Join(s.dir, e.Name())
+		switch {
+		case strings.HasSuffix(e.Name(), snapshotExt):
+			snaps = append(snaps, snapFile{path: path, size: info.Size(), mtime: info.ModTime()})
+			total += info.Size()
+		case strings.Contains(e.Name(), ".tmp-"):
+			// An aged orphan from a crashed writer.
+			if time.Since(info.ModTime()) > tmpMaxAge {
+				if os.Remove(path) == nil {
+					stats.TempRemoved++
+				}
+			}
+		}
+	}
+
+	if s.maxBytes > 0 && total > s.maxBytes {
+		// Stable order with a path tie-break: coarse filesystem timestamps
+		// can tie, and the sweep must stay deterministic when they do.
+		sort.SliceStable(snaps, func(i, j int) bool {
+			if !snaps[i].mtime.Equal(snaps[j].mtime) {
+				return snaps[i].mtime.Before(snaps[j].mtime)
+			}
+			return snaps[i].path < snaps[j].path
+		})
+		for i := 0; i < len(snaps)-1 && total > s.maxBytes; i++ {
+			if snaps[i].path == protect {
+				continue
+			}
+			if err := os.Remove(snaps[i].path); err != nil {
+				continue
+			}
+			total -= snaps[i].size
+			stats.Removed++
+			stats.RemovedBytes += snaps[i].size
+			snaps[i].removed = true
+		}
+	}
+	for _, f := range snaps {
+		if !f.removed {
+			stats.Remaining++
+			stats.RemainingBytes += f.size
+		}
+	}
+	return stats, nil
+}
+
+// Size returns the total bytes and file count of the snapshots currently in
+// the store (temp files excluded). A store whose directory does not exist
+// yet is empty.
+func (s *DirStore) Size() (bytes int64, files int, err error) {
+	entries, err := os.ReadDir(s.dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("persist: sizing snapshot dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), snapshotExt) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		bytes += info.Size()
+		files++
+	}
+	return bytes, files, nil
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"dlearn/internal/bottomclause"
 	"dlearn/internal/constraints"
@@ -144,5 +145,128 @@ func TestFingerprintSensitivity(t *testing.T) {
 		if f.Key() == base {
 			t.Errorf("%s: key unchanged", name)
 		}
+	}
+}
+
+// TestDirStoreCompactLRU checks the size-capped sweep: the least-recently-
+// used snapshots are removed until the store fits, and a Load refreshes a
+// snapshot's recency so it survives a sweep that removes older siblings.
+func TestDirStoreCompactLRU(t *testing.T) {
+	dir := t.TempDir()
+	store := persist.NewDirStore(dir)
+	payload := bytes.Repeat([]byte("x"), 100)
+	for b := byte(1); b <= 4; b++ {
+		if err := store.Save(testKey(b), payload); err != nil {
+			t.Fatalf("Save %d: %v", b, err)
+		}
+		// Stagger mtimes so LRU order is unambiguous on coarse filesystems.
+		path := filepath.Join(dir, testKey(b).String()+".dlsnap")
+		mt := time.Now().Add(-time.Hour * time.Duration(10-int(b)))
+		if err := os.Chtimes(path, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key 1 (the oldest) via Load: it must now outrank keys 2 and 3.
+	if _, err := store.Load(testKey(1)); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	store.SetMaxBytes(250) // room for two 100-byte snapshots
+	stats, err := store.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if stats.Removed != 2 || stats.Remaining != 2 {
+		t.Fatalf("Compact stats = %+v, want 2 removed / 2 remaining", stats)
+	}
+	if stats.RemainingBytes != 200 || stats.RemovedBytes != 200 {
+		t.Fatalf("Compact byte stats = %+v", stats)
+	}
+	for b, want := range map[byte]bool{1: true, 2: false, 3: false, 4: true} {
+		_, err := store.Load(testKey(b))
+		if got := err == nil; got != want {
+			t.Errorf("after sweep, key %d present = %v (err %v), want %v", b, got, err, want)
+		}
+	}
+}
+
+// TestDirStoreSaveSweeps checks that a capped store sweeps automatically on
+// Save and never removes the snapshot just written, even when it alone
+// exceeds the cap.
+func TestDirStoreSaveSweeps(t *testing.T) {
+	dir := t.TempDir()
+	store := persist.NewDirStore(dir).SetMaxBytes(150)
+	old := testKey(7)
+	if err := store.Save(old, bytes.Repeat([]byte("a"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	oldPath := filepath.Join(dir, old.String()+".dlsnap")
+	mt := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(oldPath, mt, mt); err != nil {
+		t.Fatal(err)
+	}
+	// The new snapshot alone busts the cap; the old one must be swept, the
+	// new one kept.
+	fresh := testKey(8)
+	if err := store.Save(fresh, bytes.Repeat([]byte("b"), 200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(old); err != persist.ErrNotFound {
+		t.Errorf("old snapshot survived the Save sweep: %v", err)
+	}
+	if _, err := store.Load(fresh); err != nil {
+		t.Errorf("fresh snapshot was swept: %v", err)
+	}
+	bytesTotal, files, err := store.Size()
+	if err != nil || files != 1 || bytesTotal != 200 {
+		t.Errorf("Size = (%d, %d, %v), want (200, 1, nil)", bytesTotal, files, err)
+	}
+}
+
+// TestDirStoreCompactRemovesAgedTempFiles checks orphaned temp files from a
+// crashed writer are swept once old, while young ones (possibly an in-flight
+// Save) survive.
+func TestDirStoreCompactRemovesAgedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	store := persist.NewDirStore(dir)
+	if err := store.Save(testKey(9), []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	aged := filepath.Join(dir, testKey(5).String()+".tmp-orphan")
+	if err := os.WriteFile(aged, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mt := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(aged, mt, mt); err != nil {
+		t.Fatal(err)
+	}
+	young := filepath.Join(dir, testKey(6).String()+".tmp-inflight")
+	if err := os.WriteFile(young, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if _, err := os.Stat(aged); !os.IsNotExist(err) {
+		t.Errorf("aged temp file survived Compact: %v", err)
+	}
+	if _, err := os.Stat(young); err != nil {
+		t.Errorf("young temp file was removed: %v", err)
+	}
+	if _, err := store.Load(testKey(9)); err != nil {
+		t.Errorf("snapshot removed by uncapped Compact: %v", err)
+	}
+}
+
+// TestDirStoreSizeEmpty checks Size on a store whose directory was never
+// created.
+func TestDirStoreSizeEmpty(t *testing.T) {
+	store := persist.NewDirStore(filepath.Join(t.TempDir(), "never-created"))
+	bytesTotal, files, err := store.Size()
+	if err != nil || bytesTotal != 0 || files != 0 {
+		t.Errorf("Size of missing dir = (%d, %d, %v), want zeros", bytesTotal, files, err)
+	}
+	if stats, err := store.Compact(); err != nil || stats != (persist.CompactStats{}) {
+		t.Errorf("Compact of missing dir = (%+v, %v)", stats, err)
 	}
 }

@@ -23,6 +23,10 @@ type (
 	IterationStarted = observe.IterationStarted
 	// CoverageProgress is emitted after each hill-climbing step.
 	CoverageProgress = observe.CoverageProgress
+	// CandidateBatchScored is emitted after the candidate scheduler scores
+	// one refinement sample's candidates concurrently (see
+	// WithCandidateParallelism).
+	CandidateBatchScored = observe.CandidateBatchScored
 	// ClauseAccepted is emitted when a clause joins the definition.
 	ClauseAccepted = observe.ClauseAccepted
 	// ClauseRejected is emitted when a candidate fails the acceptance test.

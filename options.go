@@ -32,6 +32,18 @@ func WithSeed(seed int64) Option {
 	}
 }
 
+// WithCandidateParallelism sets the outer tier of the two-tier coverage
+// scheduler: how many independent candidate clauses of a refinement sample
+// are scored concurrently. Each in-flight candidate runs its example batch
+// on the inner WithThreads pool, so the two tiers keep roughly
+// threads × parallelism coverage tests in flight — the lever that keeps a
+// 16-thread machine busy when the example pool is small. The learned
+// definition is identical for every value: the scheduler's shared floor only
+// prunes candidates that provably cannot win. Zero selects the default (4).
+func WithCandidateParallelism(n int) Option {
+	return func(e *Engine) { e.cfg.CandidateParallelism = n }
+}
+
 // WithEvalCacheShards sets the number of lock stripes in the coverage
 // evaluator's memo tables (repair expansions, CFD projections, compiled
 // candidates). The value is rounded up to a power of two; more stripes
