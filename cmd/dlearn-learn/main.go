@@ -9,10 +9,15 @@
 // mid-search, and -progress streams the engine's observer events (phase
 // timings, iterations, accepted clauses) to stderr.
 //
+// With -remote the problem is not learned in process: it is submitted to a
+// dlearn-serve instance over its HTTP API and the job's server-sent events
+// drive the same -progress output, so local and remote runs look alike.
+//
 // Usage:
 //
 //	dlearn-datagen -dataset movies -out ./data/movies
 //	dlearn-learn   -dataset movies -dir ./data/movies -km 5 -progress
+//	dlearn-learn   -dataset movies -dir ./data/movies -remote http://127.0.0.1:8080
 package main
 
 import (
@@ -24,8 +29,11 @@ import (
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"dlearn"
+	"dlearn/internal/server"
+	"dlearn/internal/server/wire"
 )
 
 func main() {
@@ -40,6 +48,9 @@ func main() {
 		system   = flag.String("system", "DLearn", "system to run: DLearn|DLearn-CFD|DLearn-Repaired|Castor-NoMD|Castor-Exact|Castor-Clean")
 		progress = flag.Bool("progress", false, "stream learning progress events to stderr")
 		snapDir  = flag.String("snapshot-dir", "", "directory persisting prepared examples across runs (empty disables)")
+		remote   = flag.String("remote", "", "dlearn-serve base URL; learn there instead of in process")
+		tenant   = flag.String("tenant", "", "tenant name sent with remote jobs (X-Tenant header)")
+		timeout  = flag.Duration("timeout", 0, "remote job deadline (0 = server default)")
 	)
 	flag.Parse()
 
@@ -57,6 +68,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dlearn-learn: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *remote != "" {
+		opts, err := remoteOptions(*system, *km, *iters, *sample, *threads, *seed, *timeout)
+		if err == nil {
+			err = learnRemote(ctx, *remote, *tenant, problem, opts, *progress)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dlearn-learn: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	engineOpts := []dlearn.Option{
@@ -82,6 +105,60 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("learned %d clauses in %s:\n\n%s\n", def.Len(), report.Duration.Round(1e7), def)
+}
+
+// remoteOptions maps the CLI's system and budget flags onto the wire
+// options a dlearn-serve job accepts. Only the systems that leave the
+// database instance untouched can run remotely: Castor-Clean and
+// DLearn-Repaired rewrite the instance before learning, which the service's
+// plain Engine.Learn path deliberately does not do.
+func remoteOptions(system string, km, iters, sample, threads int, seed int64, timeout time.Duration) (wire.Options, error) {
+	o := wire.Options{
+		Seed:           seed,
+		Threads:        threads,
+		Iterations:     iters,
+		SampleSize:     sample,
+		TopMatches:     km,
+		TimeoutSeconds: timeout.Seconds(),
+	}
+	switch dlearn.System(system) {
+	case dlearn.DLearn:
+		o.MDMode = "similarity"
+	case dlearn.DLearnCFD:
+		o.MDMode = "similarity"
+		o.CFDRepairs = true
+	case dlearn.CastorNoMD:
+		o.MDMode = "ignore"
+	case dlearn.CastorExact:
+		o.MDMode = "exact"
+	case dlearn.CastorClean, dlearn.DLearnRepaired:
+		return wire.Options{}, fmt.Errorf("system %s rewrites the database before learning and cannot run remotely", system)
+	default:
+		return wire.Options{}, fmt.Errorf("unknown system %q", system)
+	}
+	return o, nil
+}
+
+// learnRemote submits the problem to a dlearn-serve instance and follows its
+// event stream; with progress enabled the streamed observer events feed the
+// same renderers as a local run.
+func learnRemote(ctx context.Context, baseURL, tenant string, p *dlearn.Problem, opts wire.Options, progress bool) error {
+	client := &server.Client{BaseURL: baseURL, Tenant: tenant}
+	var onEvent func(dlearn.Event)
+	if progress {
+		local, snap := progressObserver(), snapshotObserver()
+		onEvent = func(e dlearn.Event) {
+			local.Observe(e)
+			snap.Observe(e)
+		}
+	}
+	res, err := client.Learn(ctx, p, opts, onEvent)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("learned %d clauses in %s (remote):\n\n%s\n",
+		len(res.Clauses), (time.Duration(res.Report.DurationSeconds * float64(time.Second))).Round(1e7), res.Definition)
+	return nil
 }
 
 // progressObserver renders observer events as terse stderr lines.

@@ -1,0 +1,103 @@
+// Command dlearn-serve runs the multi-tenant learning service: clients POST
+// learning problems to /v1/jobs, follow their progress over server-sent
+// events, and fetch the learned definition when the job finishes. Jobs run
+// through a bounded queue with per-tenant admission control, share one
+// snapshot store (so identical preparations dedupe across tenants), and a
+// SIGINT/SIGTERM drains gracefully: new submissions are rejected while
+// queued and running jobs finish, up to -drain-timeout.
+//
+// Usage:
+//
+//	dlearn-serve -addr :8080 -snapshot-dir /var/lib/dlearn/snapshots
+//
+// For scripted setups (tests, CI) bind an ephemeral port and discover it:
+//
+//	dlearn-serve -addr 127.0.0.1:0 -addr-file /tmp/dlearn-serve.addr
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dlearn"
+	"dlearn/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address; use host:0 for an ephemeral port")
+		addrFile      = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		maxQueued     = flag.Int("max-queued", 64, "queued jobs admitted before submissions get 429")
+		maxConcurrent = flag.Int("max-concurrent", 2, "jobs learning at once")
+		maxPerTenant  = flag.Int("max-per-tenant", 8, "one tenant's in-flight job cap (X-Tenant header); <0 disables")
+		defTimeout    = flag.Duration("default-timeout", 5*time.Minute, "per-job deadline when the job requests none")
+		maxTimeout    = flag.Duration("max-timeout", 30*time.Minute, "upper bound on the deadline a job may request")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		snapDir       = flag.String("snapshot-dir", "", "shared snapshot store directory (empty disables persistence)")
+		snapMaxBytes  = flag.Int64("snapshot-max-bytes", 0, "snapshot store size cap enforced on writes (0 = unbounded)")
+		threads       = flag.Int("threads", 0, "base engine threads per job (0 = engine default; jobs may override)")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		MaxQueued:      *maxQueued,
+		MaxConcurrent:  *maxConcurrent,
+		MaxPerTenant:   *maxPerTenant,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+	}
+	if *threads > 0 {
+		cfg.EngineOptions = append(cfg.EngineOptions, dlearn.WithThreads(*threads))
+	}
+	if *snapDir != "" {
+		store := dlearn.NewDirSnapshotStore(*snapDir)
+		if *snapMaxBytes > 0 {
+			store.SetMaxBytes(*snapMaxBytes)
+		}
+		cfg.Store = store
+	}
+
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("dlearn-serve: %v", err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatalf("dlearn-serve: writing -addr-file: %v", err)
+		}
+	}
+	log.Printf("dlearn-serve: listening on http://%s (%d workers, %d queue slots)",
+		ln.Addr(), *maxConcurrent, *maxQueued)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("dlearn-serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("dlearn-serve: draining (up to %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("dlearn-serve: drain incomplete, jobs cancelled: %v", err)
+	}
+	httpSrv.Shutdown(context.Background())
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "dlearn-serve: served %d jobs (%d completed, %d failed, %d cancelled)\n",
+		st.Submitted, st.Completed, st.Failed, st.Cancelled)
+}

@@ -10,6 +10,7 @@ import (
 	"dlearn/internal/core"
 	"dlearn/internal/coverage"
 	"dlearn/internal/logic"
+	"dlearn/internal/observe"
 	"dlearn/internal/persist"
 )
 
@@ -68,6 +69,18 @@ type CoverageSummary struct {
 	CandidateParallelSeconds float64 `json:"candidate_parallel_seconds"`
 	CandidateParallelSpeedup float64 `json:"candidate_parallel_speedup"`
 	CandidateEarlyExits      int     `json:"candidate_early_exits"`
+
+	// Covering-run scheduler telemetry: a full learner pass over the same
+	// problem, its CandidateBatchScored events aggregated into a per-run
+	// early-exit rate — the same figure dlearn-serve exports cumulatively
+	// via /v1/stats, recorded here per benchmark run so its trajectory is
+	// tracked across PRs alongside the throughput numbers.
+	LearnSeconds          float64 `json:"learn_seconds"`
+	LearnClauses          int     `json:"learn_clauses"`
+	LearnCandidateBatches int64   `json:"learn_candidate_batches"`
+	LearnCandidatesScored int64   `json:"learn_candidates_scored"`
+	LearnEarlyExits       int64   `json:"learn_early_exits"`
+	LearnEarlyExitRate    float64 `json:"learn_early_exit_rate"`
 
 	// Snapshot-store occupancy after the run (and, with a size cap, after
 	// the LRU sweep): total bytes and file count in the store directory.
@@ -280,6 +293,28 @@ func RunCoverage(ctx context.Context, o Options) (CoverageSummary, error) {
 		return CoverageSummary{}, err
 	}
 
+	// Covering-run pass: a real learner run over the benchmark subset, with
+	// its scheduler telemetry aggregated from CandidateBatchScored events.
+	// The learner shares the snapshot store, so the pass warm-starts off the
+	// snapshot saved above and times the covering loop, not preparation.
+	// The hill-climb budgets are clamped so the pass stays a bounded
+	// micro-benchmark rather than a full evaluation run; none of the clamped
+	// fields feed the snapshot fingerprint, so the warm start is preserved.
+	sched := observe.NewSchedulerStats()
+	learnCfg := lcfg
+	learnCfg.Observer = sched
+	learnCfg.SnapshotStore = store
+	learnCfg.GeneralizationSample = 4
+	learnCfg.NegativeSearchSample = 16
+	learnCfg.MaxClauses = 6
+	learnStart := time.Now()
+	def, _, err := core.NewLearner(learnCfg).LearnContext(ctx, benchProblem)
+	if err != nil {
+		return CoverageSummary{}, err
+	}
+	learnDur := time.Since(learnStart)
+	learnStats := sched.Snapshot()
+
 	tests := float64(rounds) * float64(len(cands)) * float64(len(posEx)+len(negEx))
 	// Store occupancy (after an LRU sweep when a cap is configured).
 	var sweepRemoved int
@@ -318,6 +353,12 @@ func RunCoverage(ctx context.Context, o Options) (CoverageSummary, error) {
 		CandidateSerialSeconds:   candSerial.Seconds(),
 		CandidateParallelSeconds: candParallel.Seconds(),
 		CandidateEarlyExits:      candEarlyExits,
+		LearnSeconds:             learnDur.Seconds(),
+		LearnClauses:             def.Len(),
+		LearnCandidateBatches:    learnStats.Batches,
+		LearnCandidatesScored:    learnStats.Candidates,
+		LearnEarlyExits:          learnStats.EarlyExited,
+		LearnEarlyExitRate:       learnStats.EarlyExitRate,
 		SnapshotStoreBytes:       storeBytes,
 		SnapshotStoreFiles:       storeFiles,
 		SnapshotMaxBytes:         o.SnapshotMaxBytes,
@@ -340,6 +381,9 @@ func RunCoverage(ctx context.Context, o Options) (CoverageSummary, error) {
 	fprintf(w, "  candidate tier (pool %dp+%dn): serial=%.3fs  parallel[%d]=%.3fs (%.2fx, %d early exits)\n",
 		s.CandidatePoolPositives, s.CandidatePoolNegatives, s.CandidateSerialSeconds,
 		s.CandidateParallelism, s.CandidateParallelSeconds, s.CandidateParallelSpeedup, s.CandidateEarlyExits)
+	fprintf(w, "  covering run: %d clauses in %.3fs — %d batches, %d candidates, %d early exits (%.0f%% early-exit rate)\n",
+		s.LearnClauses, s.LearnSeconds, s.LearnCandidateBatches, s.LearnCandidatesScored,
+		s.LearnEarlyExits, 100*s.LearnEarlyExitRate)
 	fprintf(w, "  snapshot store: %d files, %d bytes", s.SnapshotStoreFiles, s.SnapshotStoreBytes)
 	if s.SnapshotMaxBytes > 0 {
 		fprintf(w, " (cap %d, sweep removed %d)", s.SnapshotMaxBytes, s.SnapshotSweepRemoved)

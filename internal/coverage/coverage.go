@@ -10,6 +10,7 @@ package coverage
 import (
 	"context"
 	"runtime"
+	"sync/atomic"
 
 	"dlearn/internal/logic"
 	"dlearn/internal/repair"
@@ -33,7 +34,21 @@ type Options struct {
 	// CacheShards is the number of lock stripes per memo table (rounded up
 	// to a power of two). Zero means DefaultCacheShards.
 	CacheShards int
+	// HeatDecayInterval is the period, in scored batches, of the adaptive
+	// ordering's heat decay: every HeatDecayInterval batches ScoreBatch
+	// halves the heat counters of the examples it just scored, so the
+	// hottest-first schedule tracks the recent candidates of a long-lived
+	// process instead of its whole history. Zero means
+	// DefaultHeatDecayInterval; negative disables decay (counters grow
+	// monotonically, the pre-decay behavior).
+	HeatDecayInterval int
 }
+
+// DefaultHeatDecayInterval is the default heat-decay period in batches: long
+// enough that the hottest-first ordering has stable signal within one
+// hill-climb, short enough that a server process scoring many runs forgets
+// examples that stopped closing bounds.
+const DefaultHeatDecayInterval = 64
 
 // Evaluator answers coverage questions. It is safe for concurrent use.
 // Repair-literal expansions, CFD-stripped projections and compiled
@@ -42,10 +57,15 @@ type Options struct {
 // thousands of candidate clauses during a learning run and 16+ workers probe
 // the caches at once.
 type Evaluator struct {
-	checker *subsumption.Checker
-	repOpts repair.Options
-	threads int
-	candPar int
+	checker   *subsumption.Checker
+	repOpts   repair.Options
+	threads   int
+	candPar   int
+	heatDecay int
+
+	// batches counts completed ScoreBatch calls; every heatDecay-th batch
+	// halves the heat of the examples it scored (see adaptiveOrder).
+	batches atomic.Int64
 
 	repCache   *shardedCache[[]logic.Clause]
 	cfdCache   *shardedCache[[]logic.Clause]
@@ -63,11 +83,16 @@ func NewEvaluator(opts Options) *Evaluator {
 	if candPar <= 0 {
 		candPar = DefaultCandidateParallelism
 	}
+	heatDecay := opts.HeatDecayInterval
+	if heatDecay == 0 {
+		heatDecay = DefaultHeatDecayInterval
+	}
 	return &Evaluator{
 		checker:    subsumption.New(opts.Subsumption),
 		repOpts:    opts.Repair,
 		threads:    threads,
 		candPar:    candPar,
+		heatDecay:  heatDecay,
 		repCache:   newShardedCache[[]logic.Clause](opts.CacheShards),
 		cfdCache:   newShardedCache[[]logic.Clause](opts.CacheShards),
 		stripCache: newShardedCache[logic.Clause](opts.CacheShards),

@@ -99,7 +99,33 @@ func (e *Evaluator) scoreBatchDynamic(ctx context.Context, c logic.Clause, pos, 
 
 	score := Score{PositivesCovered: int(posCov.Load()), NegativesCovered: int(negCov.Load())}
 	exact := done.Load() == int64(n) && ctx.Err() == nil
+	e.decayHeat(pos, neg)
 	return score, exact
+}
+
+// decayHeat ages the adaptive-ordering heat counters: every heatDecay-th
+// completed batch halves the heat of the examples that batch scored. Without
+// decay the counters are monotone, so an example that was hot a million
+// batches ago outranks one that is hot now — exactly wrong for a long-lived
+// process (a dlearn-serve worker) whose candidate stream drifts. Halving the
+// just-scored examples suffices: an example no batch touches anymore cannot
+// influence any future order, so its stale heat is harmless. Heat orders
+// work only — it never changes an exact score — so the racy read-modify-
+// write halving (concurrent batches may add between the load and the store)
+// costs at most a lost increment, never correctness.
+func (e *Evaluator) decayHeat(pos, neg []*Example) {
+	if e.heatDecay <= 0 {
+		return
+	}
+	if e.batches.Add(1)%int64(e.heatDecay) != 0 {
+		return
+	}
+	for _, ex := range pos {
+		ex.heat.Store(ex.heat.Load() / 2)
+	}
+	for _, ex := range neg {
+		ex.heat.Store(ex.heat.Load() / 2)
+	}
 }
 
 // adaptiveOrder returns the processing order of a batch: positives first,

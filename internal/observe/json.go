@@ -1,0 +1,166 @@
+package observe
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Wire type names of the event stream. Events cross process boundaries in
+// dlearn-serve's server-sent event stream as {"type": ..., "data": ...}
+// envelopes; the names below are the stable wire contract, decoupled from
+// the Go type names so a type rename cannot silently break remote clients.
+const (
+	TypeRunStarted           = "run_started"
+	TypePhaseDone            = "phase_done"
+	TypeIterationStarted     = "iteration_started"
+	TypeCoverageProgress     = "coverage_progress"
+	TypeCandidateBatchScored = "candidate_batch_scored"
+	TypeClauseAccepted       = "clause_accepted"
+	TypeClauseRejected       = "clause_rejected"
+	TypeSnapshotHit          = "snapshot_hit"
+	TypeSnapshotMiss         = "snapshot_miss"
+	TypeSnapshotWritten      = "snapshot_written"
+	TypeSnapshotWriteFailed  = "snapshot_write_failed"
+	TypeRunFinished          = "run_finished"
+)
+
+// envelope is the wire form of one event: a stable type tag plus the event
+// struct's own JSON encoding. Durations inside the payload marshal as
+// int64 nanoseconds (encoding/json's default for time.Duration), which
+// round-trips exactly.
+type envelope struct {
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+// TypeName returns the wire type name of an event, or "" for an unknown
+// event type.
+func TypeName(e Event) string {
+	switch e.(type) {
+	case RunStarted:
+		return TypeRunStarted
+	case PhaseDone:
+		return TypePhaseDone
+	case IterationStarted:
+		return TypeIterationStarted
+	case CoverageProgress:
+		return TypeCoverageProgress
+	case CandidateBatchScored:
+		return TypeCandidateBatchScored
+	case ClauseAccepted:
+		return TypeClauseAccepted
+	case ClauseRejected:
+		return TypeClauseRejected
+	case SnapshotHit:
+		return TypeSnapshotHit
+	case SnapshotMiss:
+		return TypeSnapshotMiss
+	case SnapshotWritten:
+		return TypeSnapshotWritten
+	case SnapshotWriteFailed:
+		return TypeSnapshotWriteFailed
+	case RunFinished:
+		return TypeRunFinished
+	default:
+		return ""
+	}
+}
+
+// MarshalEvent encodes an event as its wire envelope.
+func MarshalEvent(e Event) ([]byte, error) {
+	name := TypeName(e)
+	if name == "" {
+		return nil, fmt.Errorf("observe: cannot marshal event of type %T", e)
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("observe: marshalling %s event: %w", name, err)
+	}
+	return json.Marshal(envelope{Type: name, Data: data})
+}
+
+// UnmarshalEvent decodes a wire envelope back into the concrete event type.
+// Unknown type names are an error, so a client talking to a newer server
+// fails loudly instead of dropping events it does not understand; callers
+// that want to skip unknown events can test the error with errors.As against
+// *UnknownEventError.
+func UnmarshalEvent(b []byte) (Event, error) {
+	var env envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, fmt.Errorf("observe: decoding event envelope: %w", err)
+	}
+	var e Event
+	switch env.Type {
+	case TypeRunStarted:
+		e = &RunStarted{}
+	case TypePhaseDone:
+		e = &PhaseDone{}
+	case TypeIterationStarted:
+		e = &IterationStarted{}
+	case TypeCoverageProgress:
+		e = &CoverageProgress{}
+	case TypeCandidateBatchScored:
+		e = &CandidateBatchScored{}
+	case TypeClauseAccepted:
+		e = &ClauseAccepted{}
+	case TypeClauseRejected:
+		e = &ClauseRejected{}
+	case TypeSnapshotHit:
+		e = &SnapshotHit{}
+	case TypeSnapshotMiss:
+		e = &SnapshotMiss{}
+	case TypeSnapshotWritten:
+		e = &SnapshotWritten{}
+	case TypeSnapshotWriteFailed:
+		e = &SnapshotWriteFailed{}
+	case TypeRunFinished:
+		e = &RunFinished{}
+	default:
+		return nil, &UnknownEventError{Type: env.Type}
+	}
+	if err := json.Unmarshal(env.Data, e); err != nil {
+		return nil, fmt.Errorf("observe: decoding %s event: %w", env.Type, err)
+	}
+	return deref(e), nil
+}
+
+// UnknownEventError reports an envelope whose type name this build does not
+// know.
+type UnknownEventError struct{ Type string }
+
+func (e *UnknownEventError) Error() string {
+	return fmt.Sprintf("observe: unknown event type %q", e.Type)
+}
+
+// deref returns the value form of a decoded event pointer, so UnmarshalEvent
+// hands back the same value types observers receive from a local run.
+func deref(e Event) Event {
+	switch ev := e.(type) {
+	case *RunStarted:
+		return *ev
+	case *PhaseDone:
+		return *ev
+	case *IterationStarted:
+		return *ev
+	case *CoverageProgress:
+		return *ev
+	case *CandidateBatchScored:
+		return *ev
+	case *ClauseAccepted:
+		return *ev
+	case *ClauseRejected:
+		return *ev
+	case *SnapshotHit:
+		return *ev
+	case *SnapshotMiss:
+		return *ev
+	case *SnapshotWritten:
+		return *ev
+	case *SnapshotWriteFailed:
+		return *ev
+	case *RunFinished:
+		return *ev
+	default:
+		return e
+	}
+}

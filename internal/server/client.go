@@ -1,0 +1,188 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"dlearn"
+	"dlearn/internal/observe"
+	"dlearn/internal/server/wire"
+)
+
+// Client talks to a dlearn-serve instance over its HTTP API. It is what
+// dlearn-learn's -remote flag and the end-to-end tests use, so client and
+// server always share the same wire codec.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Tenant, when non-empty, is sent as the X-Tenant header.
+	Tenant string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Tenant != "" {
+		req.Header.Set("X-Tenant", c.Tenant)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.StatusCode, e.Message)
+}
+
+func decodeAPIError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if json.Unmarshal(raw, &body) != nil || body.Error == "" {
+		body.Error = string(bytes.TrimSpace(raw))
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: body.Error}
+}
+
+// Submit posts a problem and returns the accepted job.
+func (c *Client) Submit(ctx context.Context, p wire.Problem) (wire.JobAccepted, error) {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return wire.JobAccepted{}, err
+	}
+	var acc wire.JobAccepted
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(data), &acc)
+	return acc, err
+}
+
+// Status fetches a job's status.
+func (c *Client) Status(ctx context.Context, id string) (wire.JobStatus, error) {
+	var st wire.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(ctx context.Context, id string) (wire.JobStatus, error) {
+	var st wire.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats(ctx context.Context) (wire.Stats, error) {
+	var st wire.Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Stream follows a job's SSE stream, invoking fn per event until the stream
+// ends (the server closes it after the terminal event) or fn errors.
+func (c *Client) Stream(ctx context.Context, id string, fn func(SSEEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	if c.Tenant != "" {
+		req.Header.Set("X-Tenant", c.Tenant)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+	return ReadSSE(resp.Body, fn)
+}
+
+// Learn runs a problem remotely end to end: submit, follow the stream
+// (forwarding decoded observer events to onEvent, which may be nil), and
+// return the terminal result. A terminal "error" event — including a
+// cancellation — is returned as a *RemoteJobError.
+func (c *Client) Learn(ctx context.Context, p *dlearn.Problem, opts wire.Options, onEvent func(dlearn.Event)) (wire.Result, error) {
+	wp := wire.EncodeProblem(p)
+	wp.Options = opts
+	acc, err := c.Submit(ctx, wp)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	var (
+		result   wire.Result
+		terminal bool
+	)
+	err = c.Stream(ctx, acc.ID, func(ev SSEEvent) error {
+		switch ev.Name {
+		case wire.EventResult:
+			if err := json.Unmarshal(ev.Data, &result); err != nil {
+				return fmt.Errorf("decoding result event: %w", err)
+			}
+			terminal = true
+		case wire.EventError:
+			var je wire.JobError
+			if err := json.Unmarshal(ev.Data, &je); err != nil {
+				return fmt.Errorf("decoding error event: %w", err)
+			}
+			return &RemoteJobError{State: je.State, Message: je.Error}
+		default:
+			if onEvent != nil {
+				if oe, err := observe.UnmarshalEvent(ev.Data); err == nil {
+					onEvent(oe)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return wire.Result{}, err
+	}
+	if !terminal {
+		return wire.Result{}, fmt.Errorf("job %s: event stream ended without a terminal event", acc.ID)
+	}
+	return result, nil
+}
+
+// RemoteJobError reports a job that finished in a failed or cancelled state.
+type RemoteJobError struct {
+	State   string
+	Message string
+}
+
+func (e *RemoteJobError) Error() string {
+	return fmt.Sprintf("remote job %s: %s", e.State, e.Message)
+}

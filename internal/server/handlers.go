@@ -1,0 +1,152 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"dlearn/internal/server/wire"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /v1/jobs             submit a problem, 202 + JobAccepted
+//	GET    /v1/jobs/{id}        job status, result once done
+//	DELETE /v1/jobs/{id}        cancel (idempotent)
+//	GET    /v1/jobs/{id}/events SSE stream, terminal "result"/"error" event
+//	GET    /v1/stats            queue/outcome/snapshot/scheduler counters
+//	GET    /healthz             liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit decodes and validates the problem before admission, so a
+// malformed submission never consumes a queue slot.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var wp wire.Problem
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wp); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding problem: %v", err)
+		return
+	}
+	p, err := wp.Decode()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid problem: %v", err)
+		return
+	}
+	if _, err := wp.Options.EngineOptions(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid options: %v", err)
+		return
+	}
+
+	j, err := s.Submit(r.Header.Get("X-Tenant"), p, wp.Options)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, wire.JobAccepted{
+		ID:        j.ID,
+		State:     j.State(),
+		EventsURL: "/v1/jobs/" + j.ID + "/events",
+		StatusURL: "/v1/jobs/" + j.ID,
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleEvents streams the job's event log as server-sent events, replaying
+// from the start so late subscribers see the whole run, then following live
+// until the terminal event. The SSE id field carries the event index, so a
+// reconnecting client can resume with Last-Event-ID.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	next := 0
+	if id := r.Header.Get("Last-Event-ID"); id != "" {
+		fmt.Sscanf(id, "%d", &next)
+	}
+	for {
+		evs, done, changed := j.eventsFrom(next)
+		for _, ev := range evs {
+			if err := writeSSE(w, next, ev.name, ev.data); err != nil {
+				return
+			}
+			next++
+		}
+		flusher.Flush()
+		if done {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

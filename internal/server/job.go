@@ -1,0 +1,203 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"sync"
+	"time"
+
+	"dlearn"
+	"dlearn/internal/server/wire"
+)
+
+// errCancelledByClient is the cancellation cause a DELETE /v1/jobs/{id}
+// installs; it distinguishes a client cancel from a deadline or a server
+// shutdown when the engine returns context.Canceled.
+var errCancelledByClient = errors.New("cancelled by client")
+
+// streamEvent is one server-sent event of a job's stream: the SSE event
+// name plus its JSON data payload.
+type streamEvent struct {
+	name string
+	data []byte
+}
+
+// Job is one submitted learning problem moving through the queue. All
+// mutable state is guarded by mu; the event log is append-only, so readers
+// hold the lock only long enough to slice it.
+type Job struct {
+	ID      string
+	Tenant  string
+	problem *dlearn.Problem
+	opts    wire.Options
+	timeout time.Duration
+
+	// ctx governs the job's whole life, created at submission from the
+	// server's base context so a queued job can be cancelled before it ever
+	// runs and a server shutdown reaches running jobs.
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	mu        sync.Mutex
+	state     string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	errMsg    string
+	result    *wire.Result
+	events    []streamEvent
+	// changed is closed and replaced whenever events or state change;
+	// stream readers wait on it instead of polling.
+	changed chan struct{}
+}
+
+// newJobID returns a fresh 128-bit random hex job ID.
+func newJobID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a panic beats
+		// handing out colliding IDs.
+		panic("server: generating job ID: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func newJob(base context.Context, tenant string, p *dlearn.Problem, opts wire.Options, timeout time.Duration) *Job {
+	ctx, cancel := context.WithCancelCause(base)
+	return &Job{
+		ID:        newJobID(),
+		Tenant:    tenant,
+		problem:   p,
+		opts:      opts,
+		timeout:   timeout,
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     wire.StateQueued,
+		submitted: time.Now(),
+		changed:   make(chan struct{}),
+	}
+}
+
+// signal wakes every stream reader; callers must hold mu.
+func (j *Job) signal() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// appendEvent adds one SSE event to the job's stream.
+func (j *Job) appendEvent(name string, data []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, streamEvent{name: name, data: data})
+	j.signal()
+}
+
+// start transitions queued → running. It reports false when the job was
+// cancelled while queued, in which case the worker must skip it.
+func (j *Job) start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != wire.StateQueued {
+		return false
+	}
+	j.state = wire.StateRunning
+	j.started = time.Now()
+	j.signal()
+	return true
+}
+
+// complete records a successful run: the terminal "result" event and the
+// done state land atomically, so a stream reader that sees the terminal
+// state has the full event log.
+func (j *Job) complete(res wire.Result) {
+	data, err := json.Marshal(res)
+	if err != nil {
+		j.fail(wire.StateFailed, "encoding result: "+err.Error())
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = wire.StateDone
+	j.finished = time.Now()
+	j.result = &res
+	j.events = append(j.events, streamEvent{name: wire.EventResult, data: data})
+	j.signal()
+}
+
+// fail records a failed or cancelled run with its terminal "error" event.
+func (j *Job) fail(state, msg string) {
+	data, _ := json.Marshal(wire.JobError{State: state, Error: msg})
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.failLocked(state, msg, data)
+}
+
+func (j *Job) failLocked(state, msg string, data []byte) {
+	j.state = state
+	j.finished = time.Now()
+	j.errMsg = msg
+	j.events = append(j.events, streamEvent{name: wire.EventError, data: data})
+	j.signal()
+}
+
+// cancelQueued atomically moves a still-queued job to cancelled, so the
+// transition can never race a worker's start(): exactly one of the two wins.
+// It reports whether this call performed the transition.
+func (j *Job) cancelQueued(msg string) bool {
+	data, _ := json.Marshal(wire.JobError{State: wire.StateCancelled, Error: msg})
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != wire.StateQueued {
+		return false
+	}
+	j.failLocked(wire.StateCancelled, msg, data)
+	return true
+}
+
+// terminal reports whether a state is final.
+func terminal(state string) bool {
+	switch state {
+	case wire.StateDone, wire.StateFailed, wire.StateCancelled:
+		return true
+	}
+	return false
+}
+
+// eventsFrom returns the stream events at index ≥ from, whether the stream
+// has terminated, and a channel that is closed on the next change (for
+// readers that caught up).
+func (j *Job) eventsFrom(from int) (evs []streamEvent, done bool, changed <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.events) {
+		evs = j.events[from:len(j.events):len(j.events)]
+	}
+	return evs, terminal(j.state), j.changed
+}
+
+// Status snapshots the job for GET /v1/jobs/{id}.
+func (j *Job) Status() wire.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return wire.JobStatus{
+		ID:          j.ID,
+		Tenant:      j.Tenant,
+		State:       j.state,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+		Events:      len(j.events),
+		Error:       j.errMsg,
+		Result:      j.result,
+	}
+}
+
+// State returns the job's current state.
+func (j *Job) State() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}

@@ -1,0 +1,367 @@
+// Package server implements dlearn-serve: a long-lived, multi-tenant HTTP
+// service in front of the Engine. Clients POST a complete learning problem
+// (relations, tuples, MDs/CFDs, examples, budgets) to /v1/jobs and get a job
+// ID back; the job runs through a bounded queue with admission control and a
+// per-job deadline, streams its Observer events as server-sent events from
+// /v1/jobs/{id}/events (terminating with the learned definition), and can be
+// cancelled mid-search with DELETE. All jobs share one content-addressed
+// snapshot store, so identical preparations dedupe across tenants — the
+// second tenant to submit a problem over the same database warm-starts off
+// the first tenant's preparation.
+//
+// The server adds no learning semantics of its own: a job's definition is
+// byte-identical to running Engine.Learn in process with the same options,
+// which the end-to-end tests pin.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dlearn"
+	"dlearn/internal/observe"
+	"dlearn/internal/server/wire"
+)
+
+// Admission errors; the HTTP layer maps them to 429/503 responses.
+var (
+	// ErrQueueFull means the bounded job queue is at capacity.
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrTenantBusy means the submitting tenant is at its in-flight cap.
+	ErrTenantBusy = errors.New("server: tenant at in-flight job cap")
+	// ErrDraining means the server is shutting down and rejects new jobs.
+	ErrDraining = errors.New("server: draining, not accepting new jobs")
+)
+
+// Config configures a Server. The zero value serves with sensible defaults
+// and no snapshot persistence.
+type Config struct {
+	// MaxQueued bounds the number of accepted-but-not-yet-running jobs;
+	// submissions beyond it are rejected with 429. Zero means 64.
+	MaxQueued int
+	// MaxConcurrent is the number of jobs learning at once (the worker
+	// count). Zero means 2.
+	MaxConcurrent int
+	// MaxPerTenant caps one tenant's in-flight (queued plus running) jobs,
+	// keyed by the X-Tenant header. Zero means 8; negative disables the cap.
+	MaxPerTenant int
+	// DefaultTimeout is the per-job deadline applied when a job requests
+	// none. Zero means 5 minutes.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps the deadline a job may request. Zero means 30
+	// minutes.
+	MaxTimeout time.Duration
+	// MaxRetainedJobs bounds the finished jobs kept for status and event
+	// replay; the oldest finished jobs are evicted first. Zero means 256.
+	MaxRetainedJobs int
+	// EngineOptions is the server-side base configuration every job starts
+	// from (threads, budgets, ...); per-job wire options are applied on top.
+	EngineOptions []dlearn.Option
+	// Store, when non-nil, is the snapshot store shared by every job.
+	// Content-addressed keys make cross-tenant sharing safe: a key is a
+	// fingerprint over the whole problem and preparation options, so one
+	// tenant can never be served another tenant's preparation unless they
+	// submitted bit-identical inputs — in which case the dedup is the point.
+	Store dlearn.SnapshotStore
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 64
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.MaxPerTenant == 0 {
+		c.MaxPerTenant = 8
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Minute
+	}
+	if c.MaxRetainedJobs <= 0 {
+		c.MaxRetainedJobs = 256
+	}
+	return c
+}
+
+// Server is the dlearn-serve core: queue, workers, job registry and
+// counters. Create one with New, serve its Handler, and stop it with
+// Shutdown.
+type Server struct {
+	cfg Config
+
+	// baseCtx parents every job context; baseCancel is the hard-stop used
+	// when a graceful drain exceeds its deadline.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*Job
+	finished []string // finished job IDs, oldest first, for retention eviction
+	tenants  map[string]int
+
+	running atomic.Int64
+
+	// Admission and outcome counters (see wire.Stats).
+	submitted         atomic.Int64
+	completed         atomic.Int64
+	failed            atomic.Int64
+	cancelled         atomic.Int64
+	rejectedQueueFull atomic.Int64
+	rejectedTenantCap atomic.Int64
+	rejectedDraining  atomic.Int64
+
+	snapHits   atomic.Int64
+	snapMisses atomic.Int64
+	sched      *observe.SchedulerStats
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, cfg.MaxQueued),
+		jobs:       make(map[string]*Job),
+		tenants:    make(map[string]int),
+		sched:      observe.NewSchedulerStats(),
+	}
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit admits a job: per-tenant cap first, then a non-blocking reservation
+// of a queue slot. The returned job is already registered and will
+// eventually run, fail or be cancelled.
+func (s *Server) Submit(tenant string, p *dlearn.Problem, opts wire.Options) (*Job, error) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	timeout := opts.Timeout()
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	j := newJob(s.baseCtx, tenant, p, opts, timeout)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.rejectedDraining.Add(1)
+		return nil, ErrDraining
+	}
+	if s.cfg.MaxPerTenant > 0 && s.tenants[tenant] >= s.cfg.MaxPerTenant {
+		s.rejectedTenantCap.Add(1)
+		return nil, fmt.Errorf("%w (%d in flight)", ErrTenantBusy, s.tenants[tenant])
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.rejectedQueueFull.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.tenants[tenant]++
+	s.jobs[j.ID] = j
+	s.submitted.Add(1)
+	return j, nil
+}
+
+// Job returns a registered job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a job by ID. A queued job is marked cancelled immediately;
+// a running job's context is cancelled and the worker records the terminal
+// state as soon as the engine unwinds (cancellation is plumbed into the
+// covering loop and every θ-subsumption search, so that is prompt).
+func (s *Server) Cancel(id string) (*Job, bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return nil, false
+	}
+	j.cancel(errCancelledByClient)
+	// If the job is still queued, record the terminal state now so status
+	// and streams resolve immediately; the worker that eventually drains it
+	// will see the transition and skip it. If a worker won the race and
+	// started the job, the cancelled context unwinds the engine instead.
+	if j.cancelQueued(errCancelledByClient.Error()) {
+		s.cancelled.Add(1)
+	}
+	return j, true
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+		s.release(j)
+	}
+}
+
+// release returns the job's tenant slot and applies finished-job retention.
+func (s *Server) release(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.tenants[j.Tenant]; n <= 1 {
+		delete(s.tenants, j.Tenant)
+	} else {
+		s.tenants[j.Tenant] = n - 1
+	}
+	s.finished = append(s.finished, j.ID)
+	for len(s.finished) > s.cfg.MaxRetainedJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// runJob executes one job end to end.
+func (s *Server) runJob(j *Job) {
+	if !j.start() {
+		// Cancelled while queued; the terminal event is already recorded.
+		return
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	ctx, cancelTimeout := context.WithTimeout(j.ctx, j.timeout)
+	defer cancelTimeout()
+
+	obs := observe.Func(func(e observe.Event) {
+		s.countSnapshotEvents(e)
+		if data, err := observe.MarshalEvent(e); err == nil {
+			j.appendEvent(observe.TypeName(e), data)
+		}
+	})
+	jobOpts, err := j.opts.EngineOptions()
+	if err != nil {
+		// Options were validated at admission; a failure here is a bug.
+		j.fail(wire.StateFailed, err.Error())
+		s.failed.Add(1)
+		return
+	}
+	opts := append(append([]dlearn.Option{}, s.cfg.EngineOptions...), jobOpts...)
+	if s.cfg.Store != nil {
+		opts = append(opts, dlearn.WithSnapshotStore(s.cfg.Store))
+	}
+	opts = append(opts, dlearn.WithObserver(obs, s.sched))
+
+	def, report, err := dlearn.New(opts...).Learn(ctx, j.problem)
+	switch {
+	case err == nil:
+		j.complete(wire.EncodeResult(def, report))
+		s.completed.Add(1)
+	case context.Cause(j.ctx) == errCancelledByClient:
+		j.fail(wire.StateCancelled, errCancelledByClient.Error())
+		s.cancelled.Add(1)
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		j.fail(wire.StateFailed, fmt.Sprintf("deadline exceeded after %s", j.timeout))
+		s.failed.Add(1)
+	default:
+		j.fail(wire.StateFailed, err.Error())
+		s.failed.Add(1)
+	}
+}
+
+func (s *Server) countSnapshotEvents(e observe.Event) {
+	switch e.(type) {
+	case observe.SnapshotHit:
+		s.snapHits.Add(1)
+	case observe.SnapshotMiss:
+		s.snapMisses.Add(1)
+	}
+}
+
+// Shutdown drains the server: new submissions are rejected immediately,
+// queued and running jobs are allowed to finish. If ctx expires first,
+// every remaining job is cancelled hard and Shutdown returns ctx.Err()
+// after the workers exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the server counters for /v1/stats.
+func (s *Server) Stats() wire.Stats {
+	s.mu.Lock()
+	tenants := len(s.tenants)
+	jobsHeld := len(s.jobs)
+	s.mu.Unlock()
+
+	st := wire.Stats{
+		QueueDepth:  len(s.queue),
+		QueueCap:    s.cfg.MaxQueued,
+		Running:     int(s.running.Load()),
+		MaxRunning:  s.cfg.MaxConcurrent,
+		JobsHeld:    jobsHeld,
+		TenantsBusy: tenants,
+
+		Submitted:         s.submitted.Load(),
+		Completed:         s.completed.Load(),
+		Failed:            s.failed.Load(),
+		Cancelled:         s.cancelled.Load(),
+		RejectedQueueFull: s.rejectedQueueFull.Load(),
+		RejectedTenantCap: s.rejectedTenantCap.Load(),
+		RejectedDraining:  s.rejectedDraining.Load(),
+
+		SnapshotHits:       s.snapHits.Load(),
+		SnapshotMisses:     s.snapMisses.Load(),
+		SnapshotStoreBytes: -1,
+		SnapshotStoreFiles: -1,
+	}
+	if total := st.SnapshotHits + st.SnapshotMisses; total > 0 {
+		st.SnapshotHitRate = float64(st.SnapshotHits) / float64(total)
+	}
+	if dir, ok := s.cfg.Store.(*dlearn.DirSnapshotStore); ok && dir != nil {
+		if bytes, files, err := dir.Size(); err == nil {
+			st.SnapshotStoreBytes, st.SnapshotStoreFiles = bytes, files
+		}
+	}
+	sched := s.sched.Snapshot()
+	st.SchedulerBatches = sched.Batches
+	st.SchedulerCandidates = sched.Candidates
+	st.SchedulerEarlyExits = sched.EarlyExited
+	st.SchedulerEarlyExitRate = sched.EarlyExitRate
+	return st
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// writeSSE emits one server-sent event with an id, an event name and a
+// single-line JSON data payload (the marshalled payloads never contain raw
+// newlines, but split defensively anyway per the SSE spec).
+func writeSSE(w io.Writer, id int, name string, data []byte) error {
+	if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\n", id, name); err != nil {
+		return err
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if _, err := fmt.Fprintf(w, "data: %s\n", line); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// SSEEvent is one parsed server-sent event.
+type SSEEvent struct {
+	ID   string
+	Name string
+	Data []byte
+}
+
+// ReadSSE parses a server-sent event stream, invoking fn for each event
+// until the stream ends or fn returns a non-nil error. A nil error from the
+// stream's natural end (io.EOF) is not reported.
+func ReadSSE(r io.Reader, fn func(SSEEvent) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var ev SSEEvent
+	var data [][]byte
+	flush := func() error {
+		if ev.Name == "" && len(data) == 0 {
+			ev, data = SSEEvent{}, nil
+			return nil
+		}
+		ev.Data = bytes.Join(data, []byte("\n"))
+		err := fn(ev)
+		ev, data = SSEEvent{}, nil
+		return err
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		switch {
+		case len(line) == 0:
+			if err := flush(); err != nil {
+				return err
+			}
+		case bytes.HasPrefix(line, []byte(":")):
+			// comment; keep-alive
+		case bytes.HasPrefix(line, []byte("id: ")):
+			ev.ID = string(line[len("id: "):])
+		case bytes.HasPrefix(line, []byte("event: ")):
+			ev.Name = string(line[len("event: "):])
+		case bytes.HasPrefix(line, []byte("data: ")):
+			data = append(data, append([]byte(nil), line[len("data: "):]...))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return flush()
+}

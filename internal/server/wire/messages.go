@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"time"
+
+	"dlearn"
+)
+
+// Job states reported by JobStatus.State.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// SSE event names the job stream uses beyond the observer event types
+// (which stream under their observe wire names, e.g. "iteration_started").
+const (
+	// EventResult is the terminal event of a successful job; its data is a
+	// Result.
+	EventResult = "result"
+	// EventError is the terminal event of a failed or cancelled job; its
+	// data is a JobError.
+	EventError = "error"
+)
+
+// JobAccepted is the body of a successful POST /v1/jobs response.
+type JobAccepted struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// EventsURL and StatusURL are the job's other endpoints, so clients
+	// need not assemble paths themselves.
+	EventsURL string `json:"events_url"`
+	StatusURL string `json:"status_url"`
+}
+
+// ClauseStats is one learned clause with its training-set coverage.
+type ClauseStats struct {
+	Clause    string `json:"clause"`
+	Positives int    `json:"positives"`
+	Negatives int    `json:"negatives"`
+	Score     int    `json:"score"`
+}
+
+// Report is the wire form of a run report.
+type Report struct {
+	DurationSeconds     float64 `json:"duration_seconds"`
+	BottomClauseSeconds float64 `json:"bottom_clause_seconds"`
+	SnapshotHit         bool    `json:"snapshot_hit"`
+	PrepareSeconds      float64 `json:"prepare_seconds"`
+	SnapshotLoadSeconds float64 `json:"snapshot_load_seconds"`
+	ClausesConsidered   int     `json:"clauses_considered"`
+	SeedsTried          int     `json:"seeds_tried"`
+	UncoveredPositives  int     `json:"uncovered_positives"`
+}
+
+// Result is a completed job's learned definition. Definition is the
+// engine's exact rendering (Definition.String), so a remote result can be
+// compared byte-for-byte against an in-process run; Clauses carries the
+// same clauses structurally.
+type Result struct {
+	Target     string        `json:"target"`
+	Definition string        `json:"definition"`
+	Clauses    []ClauseStats `json:"clauses"`
+	Report     Report        `json:"report"`
+}
+
+// JobError is the data of a terminal "error" SSE event.
+type JobError struct {
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+// EncodeResult converts a learned definition and its report to wire form.
+func EncodeResult(def *dlearn.Definition, report *dlearn.Report) Result {
+	r := Result{Target: def.Target, Definition: def.String()}
+	for i, c := range def.Clauses {
+		cs := ClauseStats{Clause: c.String()}
+		if i < len(def.Stats) {
+			cs.Positives = def.Stats[i].PositivesCovered
+			cs.Negatives = def.Stats[i].NegativesCovered
+			cs.Score = def.Stats[i].Score
+		}
+		r.Clauses = append(r.Clauses, cs)
+	}
+	if report != nil {
+		r.Report = Report{
+			DurationSeconds:     report.Duration.Seconds(),
+			BottomClauseSeconds: report.BottomClauseTime.Seconds(),
+			SnapshotHit:         report.SnapshotHit,
+			PrepareSeconds:      report.PrepareTime.Seconds(),
+			SnapshotLoadSeconds: report.SnapshotLoadTime.Seconds(),
+			ClausesConsidered:   report.ClausesConsidered,
+			SeedsTried:          report.SeedsTried,
+			UncoveredPositives:  report.UncoveredPositives,
+		}
+	}
+	return r
+}
+
+// JobStatus is the body of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID          string    `json:"id"`
+	Tenant      string    `json:"tenant"`
+	State       string    `json:"state"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	// Events is the number of stream events emitted so far (including the
+	// terminal one once the job has finished).
+	Events int     `json:"events"`
+	Error  string  `json:"error,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+// Stats is the body of GET /v1/stats.
+type Stats struct {
+	// Queue occupancy at the time of the request.
+	QueueDepth  int `json:"queue_depth"`
+	QueueCap    int `json:"queue_cap"`
+	Running     int `json:"running"`
+	MaxRunning  int `json:"max_running"`
+	JobsHeld    int `json:"jobs_held"`
+	TenantsBusy int `json:"tenants_busy"`
+
+	// Admission counters since process start.
+	Submitted         int64 `json:"submitted"`
+	Completed         int64 `json:"completed"`
+	Failed            int64 `json:"failed"`
+	Cancelled         int64 `json:"cancelled"`
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedTenantCap int64 `json:"rejected_tenant_cap"`
+	RejectedDraining  int64 `json:"rejected_draining"`
+
+	// Shared snapshot store: cross-tenant preparation dedup.
+	SnapshotHits    int64   `json:"snapshot_hits"`
+	SnapshotMisses  int64   `json:"snapshot_misses"`
+	SnapshotHitRate float64 `json:"snapshot_hit_rate"`
+	// SnapshotStoreBytes/Files describe the shared store directory, -1 when
+	// sizing failed or no directory-backed store is configured.
+	SnapshotStoreBytes int64 `json:"snapshot_store_bytes"`
+	SnapshotStoreFiles int   `json:"snapshot_store_files"`
+
+	// Candidate-scheduler telemetry aggregated across every job served.
+	SchedulerBatches       int64   `json:"scheduler_batches"`
+	SchedulerCandidates    int64   `json:"scheduler_candidates"`
+	SchedulerEarlyExits    int64   `json:"scheduler_early_exits"`
+	SchedulerEarlyExitRate float64 `json:"scheduler_early_exit_rate"`
+}

@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestQuickstartJobDecodesAndLearns pins the committed quickstart payload
+// (docs/examples/quickstart-job.json, the body README's curl example and the
+// CI serve-smoke job submit): it must decode through the wire codec, carry
+// valid options, and actually learn a definition.
+func TestQuickstartJobDecodesAndLearns(t *testing.T) {
+	data, err := os.ReadFile("../../../docs/examples/quickstart-job.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var wp Problem
+	if err := dec.Decode(&wp); err != nil {
+		t.Fatalf("quickstart payload does not decode strictly: %v", err)
+	}
+	p, err := wp.Decode()
+	if err != nil {
+		t.Fatalf("quickstart problem invalid: %v", err)
+	}
+	if wp.Options.Timeout() <= 0 {
+		t.Error("quickstart job should carry an explicit timeout")
+	}
+	def, _, err := engineFromWire(t, wp.Options).Learn(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Len() == 0 {
+		t.Error("quickstart job learned an empty definition")
+	}
+}

@@ -1,0 +1,96 @@
+package dlearn_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dlearn"
+)
+
+// TestConcurrentEnginesSharedStore is the shared-store race test behind
+// dlearn-serve: many engines learn concurrently against one DirSnapshotStore
+// — some colliding on the same snapshot key, some churning distinct keys —
+// while a compactor goroutine runs LRU sweeps over the same directory the
+// whole time. Every run must produce a definition byte-identical to a cold
+// reference run with the same seed, whether it hit a snapshot, raced a
+// sweep, or prepared fresh. Run with -race this pins the store's and the
+// restore path's concurrency safety.
+func TestConcurrentEnginesSharedStore(t *testing.T) {
+	p := buildTinyProblemFluent(t)
+	seeds := []int64{1, 2, 3}
+
+	// Cold references, no store involved.
+	want := make(map[int64]string, len(seeds))
+	for _, seed := range seeds {
+		opts := append(tinyEngineOptions(), dlearn.WithSeed(seed))
+		def, _, err := dlearn.New(opts...).Learn(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[seed] = def.String()
+	}
+
+	// A cap this small keeps the sweeps evicting constantly, so concurrent
+	// loads race deletions and most runs fall back to fresh preparation.
+	store := dlearn.NewDirSnapshotStore(t.TempDir()).SetMaxBytes(1 << 10)
+
+	const workers = 8
+	const runsPerWorker = 3
+	stop := make(chan struct{})
+	var compactor sync.WaitGroup
+	compactor.Add(1)
+	go func() {
+		defer compactor.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := store.Compact(); err != nil {
+					t.Errorf("compact: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*runsPerWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < runsPerWorker; r++ {
+				seed := seeds[(w+r)%len(seeds)]
+				opts := append(tinyEngineOptions(),
+					dlearn.WithSeed(seed),
+					dlearn.WithSnapshotStore(store))
+				def, _, err := dlearn.New(opts...).Learn(context.Background(), p)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d run %d (seed %d): %w", w, r, seed, err)
+					return
+				}
+				if got := def.String(); got != want[seed] {
+					errs <- fmt.Errorf("worker %d run %d (seed %d): definition diverged under the shared store:\n%s\nwant:\n%s",
+						w, r, seed, got, want[seed])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	compactor.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The store must still be a consistent directory after the churn: within
+	// its cap modulo the newest snapshot, and sized without error.
+	if _, _, err := store.Size(); err != nil {
+		t.Fatalf("store unreadable after concurrent churn: %v", err)
+	}
+}
