@@ -51,6 +51,7 @@ func main() {
 		remote   = flag.String("remote", "", "dlearn-serve base URL; learn there instead of in process")
 		tenant   = flag.String("tenant", "", "tenant name sent with remote jobs (X-Tenant header)")
 		timeout  = flag.Duration("timeout", 0, "remote job deadline (0 = server default)")
+		noCache  = flag.Bool("no-cache", false, "remote only: bypass the server's result cache and force a fresh run")
 	)
 	flag.Parse()
 
@@ -72,6 +73,7 @@ func main() {
 
 	if *remote != "" {
 		opts, err := remoteOptions(*system, *km, *iters, *sample, *threads, *seed, *timeout)
+		opts.NoCache = *noCache
 		if err == nil {
 			err = learnRemote(ctx, *remote, *tenant, problem, opts, *progress)
 		}
@@ -197,6 +199,9 @@ func snapshotObserver() dlearn.Observer {
 		case dlearn.SnapshotWriteFailed:
 			fmt.Fprintf(os.Stderr, "snapshot write failed %s: %s (runs will keep starting cold)\n",
 				ev.Key[:12], ev.Error)
+		case dlearn.ResultCacheHit:
+			fmt.Fprintf(os.Stderr, "result cache hit %s: definition served without running (%d bytes)\n",
+				ev.Key[:12], ev.Bytes)
 		}
 	})
 }

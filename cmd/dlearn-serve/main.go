@@ -43,16 +43,20 @@ func main() {
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		snapDir       = flag.String("snapshot-dir", "", "shared snapshot store directory (empty disables persistence)")
 		snapMaxBytes  = flag.Int64("snapshot-max-bytes", 0, "snapshot store size cap enforced on writes (0 = unbounded)")
+		jobDir        = flag.String("job-dir", "", "job journal directory: accepted jobs and their outcomes survive restarts (empty disables)")
+		resultCacheMB = flag.Int64("result-cache-max-bytes", 0, "result cache byte cap (0 = 64 MiB default; <0 disables the cache)")
 		threads       = flag.Int("threads", 0, "base engine threads per job (0 = engine default; jobs may override)")
 	)
 	flag.Parse()
 
 	cfg := server.Config{
-		MaxQueued:      *maxQueued,
-		MaxConcurrent:  *maxConcurrent,
-		MaxPerTenant:   *maxPerTenant,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
+		MaxQueued:           *maxQueued,
+		MaxConcurrent:       *maxConcurrent,
+		MaxPerTenant:        *maxPerTenant,
+		DefaultTimeout:      *defTimeout,
+		MaxTimeout:          *maxTimeout,
+		JobDir:              *jobDir,
+		ResultCacheMaxBytes: *resultCacheMB,
 	}
 	if *threads > 0 {
 		cfg.EngineOptions = append(cfg.EngineOptions, dlearn.WithThreads(*threads))
@@ -65,7 +69,14 @@ func main() {
 		cfg.Store = store
 	}
 
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("dlearn-serve: %v", err)
+	}
+	if st := srv.Stats(); st.RecoveredJobs > 0 {
+		log.Printf("dlearn-serve: recovered %d jobs from %s (%d re-queued)",
+			st.RecoveredJobs, *jobDir, st.QueueDepth)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("dlearn-serve: %v", err)

@@ -169,6 +169,29 @@ func SnapshotFingerprint(p Problem, cfg Config) persist.FingerprintInputs {
 	}
 }
 
+// ResultKey is the content address of a completed learning run: the
+// snapshot fingerprint (problem plus preparation options) extended with the
+// remaining configuration fields that influence which definition the
+// covering search returns — the run seed, the generalization and
+// negative-search samples, the minimum positive coverage and the clause cap.
+// Two (problem, config) pairs share a result key exactly when Engine.Learn
+// is guaranteed to return byte-identical definitions; parallelism settings
+// (Threads, CandidateParallelism, EvalCacheShards) are deliberately excluded
+// because the two-tier scheduler pins definitions identical across them, as
+// are Observer and SnapshotStore, which never influence the result.
+// dlearn-serve keys its result cache with this.
+func ResultKey(p Problem, cfg Config) persist.Key {
+	cfg = normalizeConfig(cfg)
+	return persist.ResultFingerprintInputs{
+		Snapshot:             SnapshotFingerprint(p, cfg).Key(),
+		Seed:                 cfg.Seed,
+		GeneralizationSample: cfg.GeneralizationSample,
+		NegativeSearchSample: cfg.NegativeSearchSample,
+		MinPositiveCoverage:  cfg.MinPositiveCoverage,
+		MaxClauses:           cfg.MaxClauses,
+	}.Key()
+}
+
 // Report summarizes a learning run.
 type Report struct {
 	// Duration is the wall-clock learning time.
@@ -204,8 +227,11 @@ type Learner struct {
 	obs observe.Observer
 }
 
-// NewLearner builds a learner with the given configuration.
-func NewLearner(cfg Config) *Learner {
+// normalizeConfig applies the zero-value defaulting NewLearner performs, so
+// every consumer of a Config — the learner itself, SnapshotFingerprint,
+// ResultKey — agrees on the effective values. A caller passing a raw Config
+// and the learner running its normalized copy must hash identically.
+func normalizeConfig(cfg Config) Config {
 	if cfg.GeneralizationSample <= 0 {
 		cfg.GeneralizationSample = DefaultConfig().GeneralizationSample
 	}
@@ -229,6 +255,12 @@ func NewLearner(cfg Config) *Learner {
 		// bottom-clause sampling seed separately.
 		cfg.BottomClause.Seed = cfg.Seed
 	}
+	return cfg
+}
+
+// NewLearner builds a learner with the given configuration.
+func NewLearner(cfg Config) *Learner {
+	cfg = normalizeConfig(cfg)
 	obs := cfg.Observer
 	if obs == nil {
 		obs = observe.Discard

@@ -21,6 +21,7 @@ const (
 	TypeSnapshotMiss         = "snapshot_miss"
 	TypeSnapshotWritten      = "snapshot_written"
 	TypeSnapshotWriteFailed  = "snapshot_write_failed"
+	TypeResultCacheHit       = "result_cache_hit"
 	TypeRunFinished          = "run_finished"
 )
 
@@ -59,6 +60,8 @@ func TypeName(e Event) string {
 		return TypeSnapshotWritten
 	case SnapshotWriteFailed:
 		return TypeSnapshotWriteFailed
+	case ResultCacheHit:
+		return TypeResultCacheHit
 	case RunFinished:
 		return TypeRunFinished
 	default:
@@ -113,6 +116,8 @@ func UnmarshalEvent(b []byte) (Event, error) {
 		e = &SnapshotWritten{}
 	case TypeSnapshotWriteFailed:
 		e = &SnapshotWriteFailed{}
+	case TypeResultCacheHit:
+		e = &ResultCacheHit{}
 	case TypeRunFinished:
 		e = &RunFinished{}
 	default:
@@ -157,6 +162,8 @@ func deref(e Event) Event {
 	case *SnapshotWritten:
 		return *ev
 	case *SnapshotWriteFailed:
+		return *ev
+	case *ResultCacheHit:
 		return *ev
 	case *RunFinished:
 		return *ev

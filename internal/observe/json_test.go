@@ -23,6 +23,7 @@ func allEvents() []Event {
 		SnapshotMiss{Key: "ab12", Reason: "not found", Duration: 22 * time.Second},
 		SnapshotWritten{Key: "ab12", Examples: 5, Bytes: 4096, Duration: 90 * time.Millisecond},
 		SnapshotWriteFailed{Key: "ab12", Error: "disk full"},
+		ResultCacheHit{Key: "cd34", Bytes: 512},
 		RunFinished{Clauses: 2, ClausesConsidered: 120, UncoveredPositives: 0, Duration: 3 * time.Second},
 	}
 }

@@ -157,6 +157,19 @@ type SnapshotWritten struct {
 	Duration time.Duration
 }
 
+// ResultCacheHit is emitted by dlearn-serve when a job's completed result
+// was served from the server's result cache instead of running the engine:
+// an identical problem with identical definition-affecting options has
+// already been learned, so the cached definition is returned byte-identical
+// and instantly. The engine itself never emits this event.
+type ResultCacheHit struct {
+	// Key is the result's content address in hex (the snapshot fingerprint
+	// extended with the remaining definition-affecting options).
+	Key string
+	// Bytes is the cached result's encoded size.
+	Bytes int
+}
+
 // RunFinished is emitted once, just before Learn returns successfully.
 type RunFinished struct {
 	// Clauses is the size of the learned definition.
@@ -181,6 +194,7 @@ func (SnapshotHit) isEvent()          {}
 func (SnapshotMiss) isEvent()         {}
 func (SnapshotWritten) isEvent()      {}
 func (SnapshotWriteFailed) isEvent()  {}
+func (ResultCacheHit) isEvent()       {}
 func (RunFinished) isEvent()          {}
 
 // Observer receives the events of a learning run.

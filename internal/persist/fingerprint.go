@@ -96,6 +96,57 @@ func (f FingerprintInputs) Key() Key {
 	return k
 }
 
+// ResultFingerprintInputs extends a snapshot key into the content address of
+// a completed learning run. The snapshot key already covers the problem
+// (instance, constraints, examples) and every preparation option; the fields
+// here are the remaining configuration knobs that influence which definition
+// the covering search returns. Two runs share a result key exactly when
+// Engine.Learn is guaranteed to return byte-identical definitions — which is
+// why parallelism settings (threads, candidate parallelism, cache shards)
+// are deliberately absent: the two-tier scheduler pins definitions identical
+// across all of them.
+type ResultFingerprintInputs struct {
+	// Snapshot is the prepared-example fingerprint (FingerprintInputs.Key).
+	Snapshot Key
+	// Seed drives seed-example selection and candidate sampling. The
+	// bottom-clause sampling seed is already inside Snapshot.
+	Seed int64
+	// GeneralizationSample, NegativeSearchSample, MinPositiveCoverage and
+	// MaxClauses shape the covering search and acceptance test.
+	GeneralizationSample int
+	NegativeSearchSample int
+	MinPositiveCoverage  int
+	MaxClauses           int
+}
+
+// Key hashes the inputs into the result's content address.
+func (f ResultFingerprintInputs) Key() Key {
+	h := sha256.New()
+	w := fpWriter{h: h}
+	w.str("dlearn-result-fingerprint/v1")
+	w.h.Write(f.Snapshot[:])
+	w.num(f.Seed)
+	w.num(int64(f.GeneralizationSample))
+	w.num(int64(f.NegativeSearchSample))
+	w.num(int64(f.MinPositiveCoverage))
+	w.num(int64(f.MaxClauses))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// ParseKey decodes the hex form produced by Key.String, for callers that
+// persist keys as text (e.g. the dlearn-serve job journal).
+func ParseKey(s string) (Key, bool) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return Key{}, false
+	}
+	copy(k[:], b)
+	return k, true
+}
+
 // fpWriter streams length-prefixed values into the hash so that adjacent
 // fields can never alias (e.g. ["ab","c"] vs ["a","bc"]).
 type fpWriter struct {

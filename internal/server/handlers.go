@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"dlearn/internal/server/wire"
 )
@@ -123,9 +124,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
+	// Resume after the last event the client saw: the id field carries the
+	// event index, so the next event is id+1. Anything unparsable or negative
+	// (a hostile or corrupted header) falls back to a full replay from 0.
 	next := 0
 	if id := r.Header.Get("Last-Event-ID"); id != "" {
-		fmt.Sscanf(id, "%d", &next)
+		if n, err := strconv.Atoi(id); err == nil && n >= 0 {
+			next = n + 1
+		}
 	}
 	for {
 		evs, done, changed := j.eventsFrom(next)

@@ -34,6 +34,10 @@ type Job struct {
 	problem *dlearn.Problem
 	opts    wire.Options
 	timeout time.Duration
+	// wireProblem is the job's wire encoding (problem plus options), kept for
+	// journal rewrites at the terminal transition. Only set when the server
+	// journals jobs; immutable after submission.
+	wireProblem wire.Problem
 
 	// ctx governs the job's whole life, created at submission from the
 	// server's base context so a queued job can be cancelled before it ever
@@ -168,14 +172,67 @@ func terminal(state string) bool {
 
 // eventsFrom returns the stream events at index ≥ from, whether the stream
 // has terminated, and a channel that is closed on the next change (for
-// readers that caught up).
+// readers that caught up). The index is clamped to [0, len(events)]: a
+// negative index (a hostile or garbage Last-Event-ID upstream) replays from
+// the start instead of panicking on a negative slice bound, and an index
+// past the end simply has nothing to replay yet.
 func (j *Job) eventsFrom(from int) (evs []streamEvent, done bool, changed <-chan struct{}) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
 	if from < len(j.events) {
 		evs = j.events[from:len(j.events):len(j.events)]
 	}
 	return evs, terminal(j.state), j.changed
+}
+
+// recoverJob rebuilds a job from its journal record. A terminal record is
+// restored complete — state, timestamps, result or error, and the full event
+// log, so status and event replay behave exactly as before the restart. A
+// non-terminal record (queued at the crash, or running and never finished)
+// comes back as a queued job ready to be re-enqueued; problem and opts must
+// then be the decoded wire problem so the re-run learns the original
+// submission.
+func recoverJob(base context.Context, rec journalRecord, p *dlearn.Problem, timeout time.Duration) *Job {
+	ctx, cancel := context.WithCancelCause(base)
+	j := &Job{
+		ID:          rec.ID,
+		Tenant:      rec.Tenant,
+		problem:     p,
+		opts:        rec.Problem.Options,
+		timeout:     timeout,
+		wireProblem: rec.Problem,
+		ctx:         ctx,
+		cancel:      cancel,
+		state:       wire.StateQueued,
+		submitted:   rec.SubmittedAt,
+		changed:     make(chan struct{}),
+	}
+	if terminal(rec.State) {
+		j.state = rec.State
+		j.started = rec.StartedAt
+		j.finished = rec.FinishedAt
+		j.errMsg = rec.Error
+		j.result = rec.Result
+		for _, ev := range rec.Events {
+			j.events = append(j.events, streamEvent{name: ev.Name, data: ev.Data})
+		}
+	}
+	return j
+}
+
+// journalView snapshots the fields the job journal persists at a terminal
+// transition, under the job lock.
+func (j *Job) journalView() (state string, started, finished time.Time, errMsg string, result *wire.Result, events []journalEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	events = make([]journalEvent, len(j.events))
+	for i, ev := range j.events {
+		events[i] = journalEvent{Name: ev.name, Data: ev.data}
+	}
+	return j.state, j.started, j.finished, j.errMsg, j.result, events
 }
 
 // Status snapshots the job for GET /v1/jobs/{id}.

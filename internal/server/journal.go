@@ -1,0 +1,150 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"dlearn/internal/server/wire"
+)
+
+// The job journal makes accepted jobs durable across server restarts. Every
+// admitted job is written as one JSON record file under the journal
+// directory (mirroring persist.DirStore's one-file-per-entry, atomic
+// temp-plus-rename idiom); the record is rewritten once with the terminal
+// state, result or error and the full event log when the job finishes. On
+// boot the server replays the directory: terminal records are restored into
+// the registry — status, result, event replay and /v1/stats outcomes survive
+// the restart — and records still in a non-terminal state (queued at the
+// crash, or running and never finished) are re-enqueued and re-run from
+// scratch. The wire codec serializes the whole problem, so a recovered job
+// learns exactly what the original submission would have.
+
+// jobFileExt is the extension of journal record files.
+const jobFileExt = ".job"
+
+// journalEvent is one persisted stream event: the SSE event name plus its
+// JSON payload.
+type journalEvent struct {
+	Name string          `json:"name"`
+	Data json.RawMessage `json:"data"`
+}
+
+// journalRecord is the persisted form of one job. Problem embeds the per-job
+// wire options (including the requested timeout), so the record alone is
+// enough to re-run the job.
+type journalRecord struct {
+	ID          string       `json:"id"`
+	Tenant      string       `json:"tenant"`
+	State       string       `json:"state"`
+	SubmittedAt time.Time    `json:"submitted_at"`
+	StartedAt   time.Time    `json:"started_at,omitzero"`
+	FinishedAt  time.Time    `json:"finished_at,omitzero"`
+	Problem     wire.Problem `json:"problem"`
+	Error       string       `json:"error,omitempty"`
+	Result      *wire.Result `json:"result,omitempty"`
+	// ResultKey is the hex result-cache key of a completed job, stored so a
+	// restart can repopulate the result cache without recomputing the
+	// fingerprint.
+	ResultKey string         `json:"result_key,omitempty"`
+	Events    []journalEvent `json:"events,omitempty"`
+}
+
+// journal persists job records in one directory, one file per job ID.
+type journal struct {
+	dir string
+}
+
+// openJournal prepares a journal rooted at dir, creating the directory so an
+// unwritable location fails at boot rather than at the first submission.
+func openJournal(dir string) (*journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: creating job journal dir: %w", err)
+	}
+	return &journal{dir: dir}, nil
+}
+
+func (jl *journal) path(id string) string {
+	return filepath.Join(jl.dir, id+jobFileExt)
+}
+
+// save writes a record atomically: temp file in the same directory, then
+// rename over the final name, so a crash can leave at worst a stale temp
+// file, never a torn record.
+func (jl *journal) save(rec journalRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("server: encoding journal record %s: %w", rec.ID, err)
+	}
+	tmp, err := os.CreateTemp(jl.dir, rec.ID+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("server: creating journal temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("server: writing journal record %s: %w", rec.ID, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("server: writing journal record %s: %w", rec.ID, err)
+	}
+	if err := os.Rename(tmpName, jl.path(rec.ID)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("server: committing journal record %s: %w", rec.ID, err)
+	}
+	return nil
+}
+
+// remove deletes a job's record (best effort — retention eviction must not
+// fail on a journal hiccup; the stale record is simply re-evicted next boot).
+func (jl *journal) remove(id string) {
+	os.Remove(jl.path(id))
+}
+
+// load reads every record in the journal. Corrupt or unreadable records are
+// renamed aside with a .corrupt suffix and skipped — one damaged file must
+// not take down recovery of the rest. Records are returned sorted by
+// submission time (ties broken by ID) so re-enqueued jobs keep their
+// original admission order.
+func (jl *journal) load() ([]journalRecord, error) {
+	entries, err := os.ReadDir(jl.dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: reading job journal: %w", err)
+	}
+	var recs []journalRecord
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, jobFileExt) {
+			continue
+		}
+		path := filepath.Join(jl.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var rec journalRecord
+		if json.Unmarshal(data, &rec) != nil || rec.ID == "" ||
+			rec.ID+jobFileExt != name {
+			os.Rename(path, path+".corrupt")
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if !recs[i].SubmittedAt.Equal(recs[j].SubmittedAt) {
+			return recs[i].SubmittedAt.Before(recs[j].SubmittedAt)
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	return recs, nil
+}

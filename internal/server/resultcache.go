@@ -1,0 +1,98 @@
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+
+	"dlearn/internal/persist"
+	"dlearn/internal/server/wire"
+)
+
+// resultCache holds completed results keyed by their result fingerprint
+// (core.ResultKey: the snapshot fingerprint extended with every remaining
+// definition-affecting option). Content addressing makes cross-tenant
+// sharing safe for the same reason the snapshot store is: two jobs share a
+// key only when they submitted bit-identical problems under options that
+// guarantee byte-identical definitions. Entries are evicted least recently
+// used once the cache exceeds its byte cap; like persist.DirStore, the most
+// recently used entry survives even when it alone exceeds the cap, so an
+// oversized cap never degenerates into a cache that can hold nothing.
+type resultCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[persist.Key]*list.Element
+	lru      *list.List // front = most recently used
+}
+
+type resultEntry struct {
+	key  persist.Key
+	res  wire.Result
+	size int64
+}
+
+// defaultResultCacheBytes is the cap applied when the server config leaves
+// it zero. Results are a few KB each, so this holds thousands of entries.
+const defaultResultCacheBytes = 64 << 20
+
+func newResultCache(maxBytes int64) *resultCache {
+	if maxBytes <= 0 {
+		maxBytes = defaultResultCacheBytes
+	}
+	return &resultCache{
+		maxBytes: maxBytes,
+		entries:  map[persist.Key]*list.Element{},
+		lru:      list.New(),
+	}
+}
+
+// get returns the cached result for the key and refreshes its recency. The
+// returned size is the entry's encoded byte count (for observability).
+func (c *resultCache) get(key persist.Key) (wire.Result, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return wire.Result{}, 0, false
+	}
+	c.lru.MoveToFront(el)
+	ent := el.Value.(*resultEntry)
+	return ent.res, int(ent.size), true
+}
+
+// put stores (or refreshes) a result under its key and sweeps the least
+// recently used entries until the cache fits the byte cap again.
+func (c *resultCache) put(key persist.Key, res wire.Result) {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return // an unmarshallable result could never be served anyway
+	}
+	size := int64(len(data))
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*resultEntry)
+		c.bytes += size - ent.size
+		ent.res, ent.size = res, size
+		c.lru.MoveToFront(el)
+	} else {
+		c.entries[key] = c.lru.PushFront(&resultEntry{key: key, res: res, size: size})
+		c.bytes += size
+	}
+	for c.bytes > c.maxBytes && c.lru.Len() > 1 {
+		oldest := c.lru.Back()
+		ent := oldest.Value.(*resultEntry)
+		c.lru.Remove(oldest)
+		delete(c.entries, ent.key)
+		c.bytes -= ent.size
+	}
+}
+
+// stats reports the cache's current occupancy.
+func (c *resultCache) stats() (bytes int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes, c.lru.Len()
+}

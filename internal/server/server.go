@@ -9,21 +9,34 @@
 // second tenant to submit a problem over the same database warm-starts off
 // the first tenant's preparation.
 //
+// Two further layers extend the dedup from preparations to whole runs. A job
+// journal (Config.JobDir) makes accepted jobs durable: every admitted job
+// and its terminal outcome is persisted, and a restarted server re-enqueues
+// interrupted jobs and restores finished ones — status, result, event replay
+// and stats outcomes all survive. A result cache keys completed results by
+// the result fingerprint (the snapshot fingerprint extended with every
+// definition-affecting option), so a resubmitted bit-identical job completes
+// instantly with the cached definition.
+//
 // The server adds no learning semantics of its own: a job's definition is
-// byte-identical to running Engine.Learn in process with the same options,
-// which the end-to-end tests pin.
+// byte-identical to running Engine.Learn in process with the same options —
+// including one served from the result cache, whose key guarantees it was
+// produced by exactly that run — which the end-to-end tests pin.
 package server
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dlearn"
+	"dlearn/internal/core"
 	"dlearn/internal/observe"
+	"dlearn/internal/persist"
 	"dlearn/internal/server/wire"
 )
 
@@ -31,17 +44,24 @@ import (
 var (
 	// ErrQueueFull means the bounded job queue is at capacity.
 	ErrQueueFull = errors.New("server: job queue full")
-	// ErrTenantBusy means the submitting tenant is at its in-flight cap.
+	// ErrTenantBusy means the submitting tenant is at its in-flight job cap.
 	ErrTenantBusy = errors.New("server: tenant at in-flight job cap")
 	// ErrDraining means the server is shutting down and rejects new jobs.
 	ErrDraining = errors.New("server: draining, not accepting new jobs")
 )
 
+// errServerShutdown is the cancellation cause a hard shutdown (the drain
+// deadline expiring) installs on the base context. It distinguishes a
+// server-initiated cancellation from a client cancel or a per-job deadline,
+// so jobs killed by the shutdown terminate as cancelled rather than failed.
+var errServerShutdown = errors.New("cancelled by server shutdown")
+
 // Config configures a Server. The zero value serves with sensible defaults
 // and no snapshot persistence.
 type Config struct {
 	// MaxQueued bounds the number of accepted-but-not-yet-running jobs;
-	// submissions beyond it are rejected with 429. Zero means 64.
+	// submissions beyond it are rejected with 429. Zero means 64. Jobs
+	// recovered from the journal are always re-enqueued, even past the cap.
 	MaxQueued int
 	// MaxConcurrent is the number of jobs learning at once (the worker
 	// count). Zero means 2.
@@ -58,6 +78,17 @@ type Config struct {
 	// MaxRetainedJobs bounds the finished jobs kept for status and event
 	// replay; the oldest finished jobs are evicted first. Zero means 256.
 	MaxRetainedJobs int
+	// JobDir, when non-empty, makes jobs durable: every accepted job and its
+	// terminal outcome is journalled there, and New recovers the journal —
+	// interrupted jobs are re-enqueued and re-run, finished jobs are restored
+	// into the registry (status, result, event replay, stats outcomes).
+	// Empty disables durability.
+	JobDir string
+	// ResultCacheMaxBytes caps the in-memory result cache, which serves a
+	// resubmitted bit-identical job its completed result instantly. Entries
+	// are evicted least recently used past the cap. Zero means 64 MiB;
+	// negative disables the cache.
+	ResultCacheMaxBytes int64
 	// EngineOptions is the server-side base configuration every job starts
 	// from (threads, budgets, ...); per-job wire options are applied on top.
 	EngineOptions []dlearn.Option
@@ -98,9 +129,15 @@ type Server struct {
 	cfg Config
 
 	// baseCtx parents every job context; baseCancel is the hard-stop used
-	// when a graceful drain exceeds its deadline.
+	// when a graceful drain exceeds its deadline, installing
+	// errServerShutdown as the cancellation cause.
 	baseCtx    context.Context
-	baseCancel context.CancelFunc
+	baseCancel func()
+
+	// journal persists accepted jobs and their outcomes (nil without JobDir);
+	// results caches completed results by fingerprint (nil when disabled).
+	journal *journal
+	results *resultCache
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -113,6 +150,9 @@ type Server struct {
 
 	running atomic.Int64
 
+	// recovered counts jobs restored from the journal at boot.
+	recovered int
+
 	// Admission and outcome counters (see wire.Stats).
 	submitted         atomic.Int64
 	completed         atomic.Int64
@@ -122,38 +162,139 @@ type Server struct {
 	rejectedTenantCap atomic.Int64
 	rejectedDraining  atomic.Int64
 
+	resultCacheHits atomic.Int64
+
 	snapHits   atomic.Int64
 	snapMisses atomic.Int64
 	sched      *observe.SchedulerStats
 }
 
-// New builds a server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a server, recovers the job journal when one is configured, and
+// starts the worker pool. It fails only when the journal directory cannot be
+// prepared or read — individual corrupt records are set aside, never fatal.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		baseCtx:    ctx,
-		baseCancel: cancel,
-		queue:      make(chan *Job, cfg.MaxQueued),
+		baseCancel: func() { cancel(errServerShutdown) },
 		jobs:       make(map[string]*Job),
 		tenants:    make(map[string]int),
 		sched:      observe.NewSchedulerStats(),
 	}
+	if cfg.ResultCacheMaxBytes >= 0 {
+		s.results = newResultCache(cfg.ResultCacheMaxBytes)
+	}
+
+	var pending []*Job
+	if cfg.JobDir != "" {
+		jl, err := openJournal(cfg.JobDir)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jl
+		recs, err := jl.load()
+		if err != nil {
+			return nil, err
+		}
+		pending = s.recover(recs)
+	}
+
+	// Recovered jobs are re-enqueued unconditionally: widen the queue beyond
+	// MaxQueued if the backlog demands it (admission still enforces the
+	// configured cap for new submissions).
+	queueCap := cfg.MaxQueued
+	if len(pending) > queueCap {
+		queueCap = len(pending)
+	}
+	s.queue = make(chan *Job, queueCap)
+	for _, j := range pending {
+		s.queue <- j
+	}
+
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
-// Submit admits a job: per-tenant cap first, then a non-blocking reservation
-// of a queue slot. The returned job is already registered and will
-// eventually run, fail or be cancelled.
-func (s *Server) Submit(tenant string, p *dlearn.Problem, opts wire.Options) (*Job, error) {
-	if tenant == "" {
-		tenant = "default"
+// recover replays journal records into a not-yet-serving server: terminal
+// records return to the registry (completed results also warm the result
+// cache), and non-terminal records — queued at the crash, or running and
+// never finished — are rebuilt as queued jobs for New to re-enqueue.
+// Outcome counters are restored so /v1/stats survives the restart.
+func (s *Server) recover(recs []journalRecord) []*Job {
+	var pending []*Job
+	type finishedAt struct {
+		id string
+		at time.Time
 	}
+	var finished []finishedAt
+	for _, rec := range recs {
+		s.submitted.Add(1)
+		s.recovered++
+		if terminal(rec.State) {
+			j := recoverJob(s.baseCtx, rec, nil, 0)
+			s.jobs[j.ID] = j
+			finished = append(finished, finishedAt{rec.ID, rec.FinishedAt})
+			switch rec.State {
+			case wire.StateDone:
+				s.completed.Add(1)
+				if key, ok := persist.ParseKey(rec.ResultKey); ok && s.results != nil && rec.Result != nil {
+					s.results.put(key, *rec.Result)
+				}
+			case wire.StateFailed:
+				s.failed.Add(1)
+			case wire.StateCancelled:
+				s.cancelled.Add(1)
+			}
+			continue
+		}
+		p, err := rec.Problem.Decode()
+		if err != nil {
+			// The record's problem no longer decodes (wire drift across
+			// versions, or a hand-edited file): surface it as a failed job
+			// rather than silently dropping it.
+			j := recoverJob(s.baseCtx, rec, nil, 0)
+			j.fail(wire.StateFailed, fmt.Sprintf("recovering job from journal: %v", err))
+			s.jobs[j.ID] = j
+			finished = append(finished, finishedAt{rec.ID, time.Now()})
+			s.failed.Add(1)
+			s.journalFinish(j, "")
+			continue
+		}
+		j := recoverJob(s.baseCtx, rec, p, s.jobTimeout(rec.Problem.Options))
+		s.jobs[j.ID] = j
+		s.tenants[j.Tenant]++
+		pending = append(pending, j)
+	}
+
+	// Rebuild the retention order by finish time (load sorts by submission,
+	// which is the right order for the queue but not for eviction).
+	sort.Slice(finished, func(i, k int) bool {
+		if !finished[i].at.Equal(finished[k].at) {
+			return finished[i].at.Before(finished[k].at)
+		}
+		return finished[i].id < finished[k].id
+	})
+	for _, f := range finished {
+		s.finished = append(s.finished, f.id)
+	}
+	for len(s.finished) > s.cfg.MaxRetainedJobs {
+		delete(s.jobs, s.finished[0])
+		if s.journal != nil {
+			s.journal.remove(s.finished[0])
+		}
+		s.finished = s.finished[1:]
+	}
+	return pending
+}
+
+// jobTimeout resolves a job's effective deadline from its requested timeout
+// and the server's default and maximum.
+func (s *Server) jobTimeout(opts wire.Options) time.Duration {
 	timeout := opts.Timeout()
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -161,7 +302,19 @@ func (s *Server) Submit(tenant string, p *dlearn.Problem, opts wire.Options) (*J
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
-	j := newJob(s.baseCtx, tenant, p, opts, timeout)
+	return timeout
+}
+
+// Submit admits a job: per-tenant cap first, then a non-blocking reservation
+// of a queue slot. With a journal configured the job is persisted before the
+// submission is acknowledged, so an accepted job survives a crash. The
+// returned job is already registered and will eventually run, fail or be
+// cancelled.
+func (s *Server) Submit(tenant string, p *dlearn.Problem, opts wire.Options) (*Job, error) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	j := newJob(s.baseCtx, tenant, p, opts, s.jobTimeout(opts))
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -173,9 +326,33 @@ func (s *Server) Submit(tenant string, p *dlearn.Problem, opts wire.Options) (*J
 		s.rejectedTenantCap.Add(1)
 		return nil, fmt.Errorf("%w (%d in flight)", ErrTenantBusy, s.tenants[tenant])
 	}
+	// The queue channel may be wider than MaxQueued after a recovery with a
+	// large backlog; the explicit occupancy check keeps admission at the
+	// configured cap regardless.
+	if len(s.queue) >= s.cfg.MaxQueued {
+		s.rejectedQueueFull.Add(1)
+		return nil, ErrQueueFull
+	}
+	if s.journal != nil {
+		wp := wire.EncodeProblem(p)
+		wp.Options = opts
+		j.wireProblem = wp
+		if err := s.journal.save(journalRecord{
+			ID:          j.ID,
+			Tenant:      j.Tenant,
+			State:       wire.StateQueued,
+			SubmittedAt: j.submitted,
+			Problem:     wp,
+		}); err != nil {
+			return nil, fmt.Errorf("server: journalling job: %w", err)
+		}
+	}
 	select {
 	case s.queue <- j:
 	default:
+		if s.journal != nil {
+			s.journal.remove(j.ID)
+		}
 		s.rejectedQueueFull.Add(1)
 		return nil, ErrQueueFull
 	}
@@ -209,6 +386,7 @@ func (s *Server) Cancel(id string) (*Job, bool) {
 	// started the job, the cancelled context unwinds the engine instead.
 	if j.cancelQueued(errCancelledByClient.Error()) {
 		s.cancelled.Add(1)
+		s.journalFinish(j, "")
 	}
 	return j, true
 }
@@ -234,8 +412,38 @@ func (s *Server) release(j *Job) {
 	s.finished = append(s.finished, j.ID)
 	for len(s.finished) > s.cfg.MaxRetainedJobs {
 		delete(s.jobs, s.finished[0])
+		if s.journal != nil {
+			// An evicted job is gone from the registry; keeping its record
+			// would resurrect it at the next boot.
+			s.journal.remove(s.finished[0])
+		}
 		s.finished = s.finished[1:]
 	}
+}
+
+// journalFinish rewrites a finished job's journal record with its terminal
+// state, result or error, and full event log. Best effort: the in-memory
+// state is already terminal, and a failed rewrite only means the job re-runs
+// after a restart — safe, because re-running a deterministic job reproduces
+// the same result.
+func (s *Server) journalFinish(j *Job, resultKey string) {
+	if s.journal == nil {
+		return
+	}
+	state, started, finished, errMsg, result, events := j.journalView()
+	_ = s.journal.save(journalRecord{
+		ID:          j.ID,
+		Tenant:      j.Tenant,
+		State:       state,
+		SubmittedAt: j.submitted,
+		StartedAt:   started,
+		FinishedAt:  finished,
+		Problem:     j.wireProblem,
+		Error:       errMsg,
+		Result:      result,
+		ResultKey:   resultKey,
+		Events:      events,
+	})
 }
 
 // runJob executes one job end to end.
@@ -247,6 +455,40 @@ func (s *Server) runJob(j *Job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
 
+	jobOpts, err := j.opts.EngineOptions()
+	if err != nil {
+		// Options were validated at admission; a failure here is a bug.
+		j.fail(wire.StateFailed, err.Error())
+		s.failed.Add(1)
+		s.journalFinish(j, "")
+		return
+	}
+	opts := append(append([]dlearn.Option{}, s.cfg.EngineOptions...), jobOpts...)
+	if s.cfg.Store != nil {
+		opts = append(opts, dlearn.WithSnapshotStore(s.cfg.Store))
+	}
+
+	// Consult the result cache before the engine ever runs. The key is the
+	// result fingerprint of the problem under the job's effective engine
+	// configuration (server base options plus the job's own), so a hit is by
+	// construction the result of exactly the run this job would perform.
+	var key persist.Key
+	if s.results != nil {
+		key = core.ResultKey(*j.problem, dlearn.New(opts...).Config())
+		if !j.opts.NoCache {
+			if res, size, ok := s.results.get(key); ok {
+				s.resultCacheHits.Add(1)
+				if data, err := observe.MarshalEvent(observe.ResultCacheHit{Key: key.String(), Bytes: size}); err == nil {
+					j.appendEvent(observe.TypeResultCacheHit, data)
+				}
+				j.complete(res)
+				s.completed.Add(1)
+				s.journalFinish(j, key.String())
+				return
+			}
+		}
+	}
+
 	ctx, cancelTimeout := context.WithTimeout(j.ctx, j.timeout)
 	defer cancelTimeout()
 
@@ -256,33 +498,38 @@ func (s *Server) runJob(j *Job) {
 			j.appendEvent(observe.TypeName(e), data)
 		}
 	})
-	jobOpts, err := j.opts.EngineOptions()
-	if err != nil {
-		// Options were validated at admission; a failure here is a bug.
-		j.fail(wire.StateFailed, err.Error())
-		s.failed.Add(1)
-		return
-	}
-	opts := append(append([]dlearn.Option{}, s.cfg.EngineOptions...), jobOpts...)
-	if s.cfg.Store != nil {
-		opts = append(opts, dlearn.WithSnapshotStore(s.cfg.Store))
-	}
 	opts = append(opts, dlearn.WithObserver(obs, s.sched))
 
 	def, report, err := dlearn.New(opts...).Learn(ctx, j.problem)
 	switch {
 	case err == nil:
-		j.complete(wire.EncodeResult(def, report))
+		res := wire.EncodeResult(def, report)
+		resultKey := ""
+		if s.results != nil {
+			s.results.put(key, res)
+			resultKey = key.String()
+		}
+		j.complete(res)
 		s.completed.Add(1)
+		s.journalFinish(j, resultKey)
 	case context.Cause(j.ctx) == errCancelledByClient:
 		j.fail(wire.StateCancelled, errCancelledByClient.Error())
 		s.cancelled.Add(1)
+		s.journalFinish(j, "")
+	case context.Cause(j.ctx) == errServerShutdown:
+		// A hard shutdown (drain deadline expired, base context cancelled)
+		// is a server-initiated cancellation, not a job failure.
+		j.fail(wire.StateCancelled, errServerShutdown.Error())
+		s.cancelled.Add(1)
+		s.journalFinish(j, "")
 	case errors.Is(ctx.Err(), context.DeadlineExceeded):
 		j.fail(wire.StateFailed, fmt.Sprintf("deadline exceeded after %s", j.timeout))
 		s.failed.Add(1)
+		s.journalFinish(j, "")
 	default:
 		j.fail(wire.StateFailed, err.Error())
 		s.failed.Add(1)
+		s.journalFinish(j, "")
 	}
 }
 
@@ -297,8 +544,9 @@ func (s *Server) countSnapshotEvents(e observe.Event) {
 
 // Shutdown drains the server: new submissions are rejected immediately,
 // queued and running jobs are allowed to finish. If ctx expires first,
-// every remaining job is cancelled hard and Shutdown returns ctx.Err()
-// after the workers exit.
+// every remaining job is cancelled hard — those jobs terminate as cancelled
+// (errServerShutdown), not failed — and Shutdown returns ctx.Err() after
+// the workers exit.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -345,10 +593,16 @@ func (s *Server) Stats() wire.Stats {
 		RejectedTenantCap: s.rejectedTenantCap.Load(),
 		RejectedDraining:  s.rejectedDraining.Load(),
 
+		ResultCacheHits: s.resultCacheHits.Load(),
+		RecoveredJobs:   s.recovered,
+
 		SnapshotHits:       s.snapHits.Load(),
 		SnapshotMisses:     s.snapMisses.Load(),
 		SnapshotStoreBytes: -1,
 		SnapshotStoreFiles: -1,
+	}
+	if s.results != nil {
+		st.ResultCacheBytes, st.ResultCacheEntries = s.results.stats()
 	}
 	if total := st.SnapshotHits + st.SnapshotMisses; total > 0 {
 		st.SnapshotHitRate = float64(st.SnapshotHits) / float64(total)

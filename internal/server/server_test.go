@@ -72,7 +72,10 @@ func serveOptions() wire.Options {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -374,10 +377,13 @@ func TestCancelQueuedJob(t *testing.T) {
 // but lets the in-flight job finish.
 func TestGracefulShutdownDrains(t *testing.T) {
 	g := newGate()
-	s := New(Config{
+	s, err := New(Config{
 		MaxConcurrent: 1,
 		EngineOptions: []dlearn.Option{dlearn.WithObserver(g)},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	p := serveProblem(t)
 
 	j, err := s.Submit("t", p, serveOptions())
@@ -413,12 +419,60 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	}
 }
 
+// TestHardShutdownCancelsJobs verifies the other half of the shutdown
+// contract: when the drain deadline expires, in-flight jobs are cancelled by
+// the server and must terminate as cancelled — not as failed with a bare
+// "context canceled", which would misreport a server decision as a job error.
+func TestHardShutdownCancelsJobs(t *testing.T) {
+	g := newGate()
+	s, err := New(Config{
+		MaxConcurrent: 1,
+		EngineOptions: []dlearn.Option{dlearn.WithObserver(g)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := serveProblem(t)
+	j, err := s.Submit("t", p, serveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.waitEntered(t)
+
+	// An already-expired drain deadline forces the hard path at once; the
+	// engine is still blocked on the gate, so the job cannot drain in time.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(ctx) }()
+	// Shutdown only returns after its workers exit, so the gate must be
+	// released while it waits; the unblocked engine then observes the
+	// cancelled base context.
+	close(g.release)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("hard shutdown returned %v, want context.Canceled", err)
+	}
+
+	if got := j.State(); got != wire.StateCancelled {
+		t.Fatalf("hard-shutdown job terminated %q (%s), want cancelled", got, j.Status().Error)
+	}
+	if msg := j.Status().Error; !strings.Contains(msg, "shutdown") {
+		t.Errorf("hard-shutdown job error = %q, want it to name the shutdown", msg)
+	}
+	if st := s.Stats(); st.Cancelled != 1 || st.Failed != 0 {
+		t.Errorf("hard-shutdown stats = %+v, want 1 cancelled / 0 failed", st)
+	}
+}
+
 // TestSharedSnapshotStoreDedupes submits the same problem from two tenants
 // against one shared store: the second job must warm-start from the first
-// tenant's preparation and still learn the identical definition.
+// tenant's preparation and still learn the identical definition. The result
+// cache is disabled so the second job actually reaches the engine — with the
+// cache on, an identical resubmission never runs at all (covered by the
+// result-cache tests).
 func TestSharedSnapshotStoreDedupes(t *testing.T) {
 	store := dlearn.NewDirSnapshotStore(t.TempDir())
-	_, client := newTestServer(t, Config{MaxConcurrent: 1, Store: store})
+	_, client := newTestServer(t, Config{MaxConcurrent: 1, Store: store, ResultCacheMaxBytes: -1})
 
 	p := serveProblem(t)
 	first, err := client.Learn(context.Background(), p, serveOptions(), nil)

@@ -50,19 +50,32 @@ func ReadSSE(r io.Reader, fn func(SSEEvent) error) error {
 	}
 	for sc.Scan() {
 		line := sc.Bytes()
-		switch {
-		case len(line) == 0:
+		if len(line) == 0 {
 			if err := flush(); err != nil {
 				return err
 			}
-		case bytes.HasPrefix(line, []byte(":")):
-			// comment; keep-alive
-		case bytes.HasPrefix(line, []byte("id: ")):
-			ev.ID = string(line[len("id: "):])
-		case bytes.HasPrefix(line, []byte("event: ")):
-			ev.Name = string(line[len("event: "):])
-		case bytes.HasPrefix(line, []byte("data: ")):
-			data = append(data, append([]byte(nil), line[len("data: "):]...))
+			continue
+		}
+		if line[0] == ':' {
+			continue // comment; keep-alive
+		}
+		// Per the SSE spec a field line is "name:value" where a single space
+		// after the colon is optional and stripped; a line with no colon is a
+		// field name with an empty value.
+		field, value := line, []byte(nil)
+		if i := bytes.IndexByte(line, ':'); i >= 0 {
+			field, value = line[:i], line[i+1:]
+			if len(value) > 0 && value[0] == ' ' {
+				value = value[1:]
+			}
+		}
+		switch string(field) {
+		case "id":
+			ev.ID = string(value)
+		case "event":
+			ev.Name = string(value)
+		case "data":
+			data = append(data, append([]byte(nil), value...))
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestReadSSEFieldSyntax pins ReadSSE to the SSE spec's field grammar: the
+// space after the colon is optional, a line without a colon is a field with
+// an empty value, comment lines are skipped, and multiple data lines join
+// with a newline.
+func TestReadSSEFieldSyntax(t *testing.T) {
+	stream := strings.Join([]string{
+		": keep-alive comment",
+		"id:0",           // no space after the colon
+		"event:progress", // no space
+		"data:{\"a\":1}", // no space; value itself contains colons
+		"",
+		"id: 1", // single space, stripped
+		"event: result",
+		"data: line1",
+		"data:line2", // mixed spacing within one event
+		"",
+		"event",             // no colon at all: field with empty value
+		"data:  two spaces", // only the first space is stripped
+		"",
+	}, "\n")
+
+	var got []SSEEvent
+	if err := ReadSSE(strings.NewReader(stream), func(ev SSEEvent) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []SSEEvent{
+		{ID: "0", Name: "progress", Data: []byte(`{"a":1}`)},
+		{ID: "1", Name: "result", Data: []byte("line1\nline2")},
+		{ID: "", Name: "", Data: []byte(" two spaces")},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d events, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Name != want[i].Name || string(got[i].Data) != string(want[i].Data) {
+			t.Errorf("event %d = {%q %q %q}, want {%q %q %q}",
+				i, got[i].ID, got[i].Name, got[i].Data, want[i].ID, want[i].Name, want[i].Data)
+		}
+	}
+}
+
+// TestWriteSSERoundTripsThroughReadSSE keeps the writer and the stricter
+// parser in agreement.
+func TestWriteSSERoundTrips(t *testing.T) {
+	var sb strings.Builder
+	if err := writeSSE(&sb, 42, "result", []byte(`{"x":"y"}`)); err != nil {
+		t.Fatal(err)
+	}
+	var got []SSEEvent
+	if err := ReadSSE(strings.NewReader(sb.String()), func(ev SSEEvent) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "42" || got[0].Name != "result" || string(got[0].Data) != `{"x":"y"}` {
+		t.Fatalf("round trip produced %+v", got)
+	}
+}
+
+// streamFrom reads a finished job's event stream with a Last-Event-ID header
+// and returns the events received.
+func streamFrom(t *testing.T, baseURL, jobID, lastEventID string) []SSEEvent {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, baseURL+"/v1/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events with Last-Event-ID %q: status %d", lastEventID, resp.StatusCode)
+	}
+	var got []SSEEvent
+	if err := ReadSSE(resp.Body, func(ev SSEEvent) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestEventsResumeAfterLastEventID pins the reconnect contract: a client that
+// saw event N and resumes with Last-Event-ID: N receives event N+1 first —
+// no duplicates, no gap.
+func TestEventsResumeAfterLastEventID(t *testing.T) {
+	s, client := newTestServer(t, Config{MaxConcurrent: 1})
+	p := serveProblem(t)
+	if _, err := client.Learn(context.Background(), p, serveOptions(), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover the job ID, then take a full replay as the baseline.
+	jobID := findOnlyJobID(t, s)
+	all := streamFrom(t, client.BaseURL, jobID, "")
+	if len(all) < 2 {
+		t.Fatalf("job emitted only %d events; need at least 2 to test resume", len(all))
+	}
+	for i, ev := range all {
+		if ev.ID != strconv.Itoa(i) {
+			t.Fatalf("full replay event %d has id %q", i, ev.ID)
+		}
+	}
+
+	// Resume from the middle: the first event received must be lastSeen+1.
+	lastSeen := len(all) - 2
+	resumed := streamFrom(t, client.BaseURL, jobID, strconv.Itoa(lastSeen))
+	if len(resumed) != len(all)-lastSeen-1 {
+		t.Fatalf("resume after id %d returned %d events, want %d", lastSeen, len(resumed), len(all)-lastSeen-1)
+	}
+	if resumed[0].ID != strconv.Itoa(lastSeen+1) {
+		t.Errorf("resume after id %d started at id %q, want %d (duplicate of the last-seen event)",
+			lastSeen, resumed[0].ID, lastSeen+1)
+	}
+
+	// A client that saw the terminal event has nothing left to replay.
+	if tail := streamFrom(t, client.BaseURL, jobID, strconv.Itoa(len(all)-1)); len(tail) != 0 {
+		t.Errorf("resume after the terminal event replayed %d events, want 0", len(tail))
+	}
+}
+
+// TestEventsHostileLastEventID sends garbage and out-of-range Last-Event-ID
+// headers; the server must never panic, and unparsable or negative values
+// fall back to a full replay.
+func TestEventsHostileLastEventID(t *testing.T) {
+	s, client := newTestServer(t, Config{MaxConcurrent: 1})
+	p := serveProblem(t)
+	if _, err := client.Learn(context.Background(), p, serveOptions(), nil); err != nil {
+		t.Fatal(err)
+	}
+	jobID := findOnlyJobID(t, s)
+	full := streamFrom(t, client.BaseURL, jobID, "")
+
+	// (A value like " 2" is absent: the HTTP layer trims optional whitespace,
+	// so it arrives as a legitimate "2" and resumes.)
+	for _, hostile := range []string{"-1", "-999999", "garbage", "1e3", "2.5", "0x10"} {
+		got := streamFrom(t, client.BaseURL, jobID, hostile)
+		if len(got) != len(full) {
+			t.Errorf("Last-Event-ID %q replayed %d events, want full replay of %d", hostile, len(got), len(full))
+		}
+	}
+	// A far-future index has nothing to replay but must still terminate.
+	if got := streamFrom(t, client.BaseURL, jobID, "1000000"); len(got) != 0 {
+		t.Errorf("Last-Event-ID 1000000 replayed %d events, want 0", len(got))
+	}
+}
+
+// findOnlyJobID returns the ID of the single job a test server holds (the
+// API has no job listing, and Client.Learn does not surface the ID).
+func findOnlyJobID(t *testing.T, s *Server) string {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.jobs) != 1 {
+		t.Fatalf("server holds %d jobs, want exactly 1", len(s.jobs))
+	}
+	for id := range s.jobs {
+		return id
+	}
+	return ""
+}

@@ -143,6 +143,17 @@ type Stats struct {
 	SnapshotStoreBytes int64 `json:"snapshot_store_bytes"`
 	SnapshotStoreFiles int   `json:"snapshot_store_files"`
 
+	// Result cache: completed results keyed by the result fingerprint
+	// (problem + every definition-affecting option), so a resubmitted
+	// identical job completes instantly with a byte-identical definition.
+	ResultCacheHits    int64 `json:"result_cache_hits"`
+	ResultCacheBytes   int64 `json:"result_cache_bytes"`
+	ResultCacheEntries int   `json:"result_cache_entries"`
+
+	// RecoveredJobs counts jobs restored from the job journal at boot —
+	// finished jobs returned to the registry plus interrupted jobs re-queued.
+	RecoveredJobs int `json:"recovered_jobs"`
+
 	// Candidate-scheduler telemetry aggregated across every job served.
 	SchedulerBatches       int64   `json:"scheduler_batches"`
 	SchedulerCandidates    int64   `json:"scheduler_candidates"`

@@ -85,6 +85,12 @@ type Options struct {
 	// TimeoutSeconds is the job's deadline. The server clamps it to its
 	// configured maximum and applies its default when zero.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// NoCache bypasses the server's result cache for this job: the engine
+	// runs even when an identical completed result is cached. The fresh
+	// result still refreshes the cache afterwards, like an HTTP no-cache
+	// revalidation. It never influences the learned definition, so it is not
+	// part of any fingerprint.
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
 // Problem is the body of POST /v1/jobs: a complete learning task.

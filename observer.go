@@ -44,6 +44,9 @@ type (
 	// failed; the run proceeds, but later runs will keep missing until the
 	// store is fixed.
 	SnapshotWriteFailed = observe.SnapshotWriteFailed
+	// ResultCacheHit is emitted by dlearn-serve when a job's result was
+	// served from the server's result cache instead of running the engine.
+	ResultCacheHit = observe.ResultCacheHit
 	// RunFinished is emitted once, just before Learn returns.
 	RunFinished = observe.RunFinished
 )
