@@ -251,7 +251,9 @@ func TestEngineDeterministicAcrossRuns(t *testing.T) {
 // central promise: the learned definition is byte-identical for a fixed seed
 // regardless of the inner thread count and the outer candidate parallelism,
 // because the scheduler's shared floor only prunes candidates that provably
-// cannot win.
+// cannot win. The matrix also crosses the literal planner on/off: a plan is a
+// permutation of one probe's search order, so it may change how a fixed point
+// is reached but never which definition is learned.
 func TestEngineDeterministicAcrossThreadCounts(t *testing.T) {
 	p := buildTinyProblemFluent(t)
 	base := append(tinyEngineOptions(), dlearn.WithSeed(7))
@@ -260,19 +262,22 @@ func TestEngineDeterministicAcrossThreadCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, cfg := range []struct{ threads, candPar int }{
-		{1, 4}, {4, 1}, {4, 4}, {8, 3}, {16, 8},
-	} {
-		def, _, err := dlearn.New(append(base,
-			dlearn.WithThreads(cfg.threads),
-			dlearn.WithCandidateParallelism(cfg.candPar))...).
-			Learn(context.Background(), p)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if def.String() != ref.String() {
-			t.Errorf("threads=%d candidateParallelism=%d diverged from the serial run:\n%s\nvs\n%s",
-				cfg.threads, cfg.candPar, def, ref)
+	for _, planner := range []bool{true, false} {
+		for _, cfg := range []struct{ threads, candPar int }{
+			{1, 1}, {1, 4}, {4, 1}, {4, 4}, {8, 3}, {16, 8},
+		} {
+			def, _, err := dlearn.New(append(base,
+				dlearn.WithThreads(cfg.threads),
+				dlearn.WithCandidateParallelism(cfg.candPar),
+				dlearn.WithLiteralPlanner(planner))...).
+				Learn(context.Background(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if def.String() != ref.String() {
+				t.Errorf("threads=%d candidateParallelism=%d planner=%v diverged from the serial run:\n%s\nvs\n%s",
+					cfg.threads, cfg.candPar, planner, def, ref)
+			}
 		}
 	}
 }

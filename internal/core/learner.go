@@ -433,10 +433,12 @@ func (l *Learner) LearnContext(ctx context.Context, p Problem) (*logic.Definitio
 			// score seen so far, and a non-exact result means exactly that,
 			// so BestCandidate discards it. The selection is identical to
 			// scoring the candidates one by one.
+			plansBefore := eval.PlanSnapshot()
 			results := eval.ScoreCandidates(ctx, cands, pool, searchNeg, currentScore.Value(), 0)
 			if err := ctx.Err(); err != nil {
 				return nil, nil, err
 			}
+			plansAfter := eval.PlanSnapshot()
 			bestIdx, bestScore, improved := coverage.BestCandidate(results, currentScore.Value())
 			earlyExited := 0
 			for _, r := range results {
@@ -445,11 +447,14 @@ func (l *Learner) LearnContext(ctx context.Context, p Problem) (*logic.Definitio
 				}
 			}
 			l.obs.Observe(observe.CandidateBatchScored{
-				Iteration:   iteration,
-				Candidates:  len(cands),
-				Parallelism: eval.CandidateWorkers(len(cands), 0),
-				EarlyExited: earlyExited,
-				Improved:    improved,
+				Iteration:     iteration,
+				Candidates:    len(cands),
+				Parallelism:   eval.CandidateWorkers(len(cands), 0),
+				EarlyExited:   earlyExited,
+				Improved:      improved,
+				Probes:        plansAfter.Probes - plansBefore.Probes,
+				SearchNodes:   plansAfter.Nodes - plansBefore.Nodes,
+				PlannedProbes: plansAfter.Planned - plansBefore.Planned,
 			})
 			if !improved {
 				break

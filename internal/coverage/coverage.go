@@ -62,10 +62,21 @@ type Evaluator struct {
 	threads   int
 	candPar   int
 	heatDecay int
+	// noPlanner disables the θ-subsumption literal planner on every probe
+	// the evaluator issues (Options.Subsumption.DisablePlanner).
+	noPlanner bool
 
 	// batches counts completed ScoreBatch calls; every heatDecay-th batch
 	// halves the heat of the examples it scored (see adaptiveOrder).
 	batches atomic.Int64
+
+	// Plan telemetry: probes issued, probes the planner ordered, and search
+	// nodes explored, accumulated across every probe-based coverage test.
+	// The learner reads deltas around each candidate batch and reports them
+	// on CandidateBatchScored events.
+	planProbes  atomic.Int64
+	planPlanned atomic.Int64
+	planNodes   atomic.Int64
 
 	repCache   *shardedCache[[]logic.Clause]
 	cfdCache   *shardedCache[[]logic.Clause]
@@ -93,6 +104,7 @@ func NewEvaluator(opts Options) *Evaluator {
 		threads:    threads,
 		candPar:    candPar,
 		heatDecay:  heatDecay,
+		noPlanner:  opts.Subsumption.DisablePlanner,
 		repCache:   newShardedCache[[]logic.Clause](opts.CacheShards),
 		cfdCache:   newShardedCache[[]logic.Clause](opts.CacheShards),
 		stripCache: newShardedCache[logic.Clause](opts.CacheShards),

@@ -25,6 +25,10 @@ type probe struct {
 	// never be seen again, e.g. the generalization blocking scan).
 	cached bool
 	cand   *subsumption.CompiledCandidate
+	// plans memoizes θ-subsumption literal plans for the probes this batch
+	// issues, keyed by (compiled candidate, prepared example); batch-scoped
+	// like the probe itself, so its size is bounded by one batch's probes.
+	plans *subsumption.PlanCache
 
 	mu          sync.Mutex
 	stripped    *subsumption.CompiledCandidate
@@ -43,7 +47,26 @@ func (e *Evaluator) newProbe(c logic.Clause, cached bool) *probe {
 	} else {
 		cand = subsumption.CompileCandidate(c)
 	}
-	return &probe{e: e, c: c, hasCFD: clauseHasCFDRepairs(c), cached: cached, cand: cand}
+	return &probe{
+		e: e, c: c,
+		hasCFD: clauseHasCFDRepairs(c),
+		cached: cached,
+		cand:   cand,
+		plans:  subsumption.NewPlanCache(),
+	}
+}
+
+// subsumes issues one instrumented θ-subsumption probe: the evaluator's
+// planner setting and the probe's batch-scoped plan cache are applied, and
+// the probe's work feeds the plan telemetry counters.
+func (p *probe) subsumes(ctx context.Context, cc *subsumption.CompiledCandidate, prep *subsumption.Prepared, plain bool) bool {
+	ok, _, st := cc.Probe(ctx, prep, subsumption.ProbeOptions{
+		Plain:     plain,
+		NoPlanner: p.e.noPlanner,
+		Cache:     p.plans,
+	})
+	p.e.addProbeStats(st)
+	return ok
 }
 
 // compile compiles a derived clause (stripped projection, repair expansion)
@@ -108,7 +131,7 @@ func (p *probe) repairedCands(ctx context.Context) []*subsumption.CompiledCandid
 // coversPositive is CoversPositiveExample with the candidate side resolved
 // through the probe (Section 4.3 procedure).
 func (p *probe) coversPositive(ctx context.Context, ex *Example) bool {
-	if ok, _ := p.cand.Subsumes(ctx, ex.prep); ok {
+	if p.subsumes(ctx, p.cand, ex.prep, false) {
 		return true
 	}
 	if !p.hasCFD && !ex.hasCFD {
@@ -116,7 +139,7 @@ func (p *probe) coversPositive(ctx context.Context, ex *Example) bool {
 		// (Theorem 4.9), so the failed check is conclusive.
 		return false
 	}
-	if ok, _ := p.strippedCand().Subsumes(ctx, ex.stripped); !ok {
+	if !p.subsumes(ctx, p.strippedCand(), ex.stripped, false) {
 		return false
 	}
 	cExp := p.cfdCands(ctx)
@@ -126,7 +149,7 @@ func (p *probe) coversPositive(ctx context.Context, ex *Example) bool {
 	for _, ce := range cExp {
 		matched := false
 		for _, g := range ex.cfdExp {
-			if ok, _ := ce.Subsumes(ctx, g); ok {
+			if p.subsumes(ctx, ce, g, false) {
 				matched = true
 				break
 			}
@@ -143,7 +166,7 @@ func (p *probe) coversPositive(ctx context.Context, ex *Example) bool {
 func (p *probe) coversNegative(ctx context.Context, ex *Example) bool {
 	for _, cr := range p.repairedCands(ctx) {
 		for _, gr := range ex.repaired {
-			if ok, _ := cr.SubsumesPlain(ctx, gr); ok {
+			if p.subsumes(ctx, cr, gr, true) {
 				return true
 			}
 		}

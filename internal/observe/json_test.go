@@ -16,7 +16,7 @@ func allEvents() []Event {
 		PhaseDone{Phase: PhaseBottomClauses, Duration: 1500 * time.Millisecond},
 		IterationStarted{Iteration: 2, SeedIndex: 1, Uncovered: 5},
 		CoverageProgress{Iteration: 2, ClausesConsidered: 17, BestPositives: 4, BestNegatives: 1},
-		CandidateBatchScored{Iteration: 2, Candidates: 8, Parallelism: 4, EarlyExited: 3, Improved: true},
+		CandidateBatchScored{Iteration: 2, Candidates: 8, Parallelism: 4, EarlyExited: 3, Improved: true, Probes: 96, SearchNodes: 4200, PlannedProbes: 90},
 		ClauseAccepted{Iteration: 2, Clause: "h(X) :- b(X)", Positives: 4, Negatives: 0, Uncovered: 1},
 		ClauseRejected{Iteration: 3, Clause: "h(X) :- c(X)", Positives: 1, Negatives: 2},
 		SnapshotHit{Key: "ab12", Examples: 5, Bytes: 4096, Duration: 240 * time.Millisecond},
@@ -108,6 +108,42 @@ func TestSchedulerStatsAggregation(t *testing.T) {
 	}
 	if NewSchedulerStats().Snapshot().EarlyExitRate != 0 {
 		t.Error("empty aggregator must report rate 0")
+	}
+}
+
+func TestPlanStatsAggregation(t *testing.T) {
+	s := NewPlanStats()
+	s.Observe(RunStarted{}) // ignored
+	s.Observe(CandidateBatchScored{Probes: 10, PlannedProbes: 8, SearchNodes: 500})
+	s.Observe(CandidateBatchScored{Probes: 6, PlannedProbes: 6, SearchNodes: 120})
+	snap := s.Snapshot()
+	if snap.Batches != 2 || snap.Probes != 16 || snap.Planned != 14 || snap.Nodes != 620 {
+		t.Fatalf("bad totals: %+v", snap)
+	}
+	if want := 14.0 / 16.0; snap.PlannedRate != want {
+		t.Errorf("PlannedRate = %v, want %v", snap.PlannedRate, want)
+	}
+	if NewPlanStats().Snapshot().PlannedRate != 0 {
+		t.Error("empty aggregator must report rate 0")
+	}
+}
+
+func TestPlanStatsConcurrent(t *testing.T) {
+	s := NewPlanStats()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Observe(CandidateBatchScored{Probes: 3, PlannedProbes: 2, SearchNodes: 7})
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.Batches != 800 || snap.Probes != 2400 || snap.Planned != 1600 || snap.Nodes != 5600 {
+		t.Fatalf("lost updates: %+v", snap)
 	}
 }
 

@@ -154,27 +154,46 @@ func bruteClosureOK(d logic.Clause, mapped map[int]bool) bool {
 	return true
 }
 
-// checkAgainstReference asserts that the optimized search — with and without
-// a reusable CompiledCandidate — agrees with the brute-force reference on
-// the pair (c, d), in both Definition 4.4 and plain modes.
+// checkAgainstReference is the differential battery: the optimized search —
+// through the Checker and through a reusable CompiledCandidate, with the
+// literal planner on, off, and plan-cached — must agree with the brute-force
+// reference on the pair (c, d), in both Definition 4.4 and plain modes.
+// Plans are permutations, so every leg must produce the same outcome; any
+// divergence is a planner or search bug.
 func checkAgainstReference(t *testing.T, ch *Checker, c, d logic.Clause) {
 	t.Helper()
 	ctx := context.Background()
 	prep := ch.Prepare(d)
 	cc := CompileCandidate(c)
+	cache := NewPlanCache()
+	chOff := New(Options{MaxNodes: ch.Opts.MaxNodes, DisablePlanner: true})
 	for _, plain := range []bool{false, true} {
 		want := bruteForceSubsumes(c, d, plain)
-		var got, gotCompiled bool
+		var got, gotOff bool
 		if plain {
 			got, _ = ch.SubsumesPlain(c, d)
-			gotCompiled, _ = cc.SubsumesPlain(ctx, prep)
+			gotOff, _ = chOff.SubsumesPlain(c, d)
 		} else {
 			got, _ = ch.Subsumes(c, d)
-			gotCompiled, _ = cc.Subsumes(ctx, prep)
+			gotOff, _ = chOff.Subsumes(c, d)
 		}
-		if got != want || gotCompiled != want {
-			t.Fatalf("disagreement (plain=%v): brute=%v search=%v compiled=%v\nc = %v\nd = %v",
-				plain, want, got, gotCompiled, c, d)
+		if got != want || gotOff != want {
+			t.Fatalf("disagreement (plain=%v): brute=%v planner-on=%v planner-off=%v\nc = %v\nd = %v",
+				plain, want, got, gotOff, c, d)
+		}
+		for _, leg := range []struct {
+			name string
+			o    ProbeOptions
+		}{
+			{"planned", ProbeOptions{Plain: plain}},
+			{"fixed", ProbeOptions{Plain: plain, NoPlanner: true}},
+			{"cached-plan", ProbeOptions{Plain: plain, Cache: cache}},
+		} {
+			gotProbe, _, _ := cc.Probe(ctx, prep, leg.o)
+			if gotProbe != want {
+				t.Fatalf("disagreement (plain=%v, %s probe): brute=%v probe=%v\nc = %v\nd = %v",
+					plain, leg.name, want, gotProbe, c, d)
+			}
 		}
 	}
 }
@@ -202,6 +221,54 @@ func TestReferenceAgreesOnKnownCases(t *testing.T) {
 	}
 	for _, p := range pairs {
 		checkAgainstReference(t, ch, p[0], p[1])
+	}
+}
+
+// TestPlannerAdversarialCases runs the differential battery on crafted
+// planner-adversarial clause pairs: disconnected bodies (the frontier is
+// empty mid-plan), repeated predicates (many literals share one image set),
+// and all-equal image sizes (selectivity cannot discriminate, ties decide
+// the whole plan).
+func TestPlannerAdversarialCases(t *testing.T) {
+	ch := fuzzChecker()
+	x, y, z, w := logic.Var("x"), logic.Var("y"), logic.Var("z"), logic.Var("w")
+	a, b, cst := logic.Const("a"), logic.Const("b"), logic.Const("c")
+	cases := []struct {
+		name string
+		c, d logic.Clause
+	}{
+		{
+			"disconnected body",
+			logic.NewClause(logic.Rel("p", x), logic.Rel("q", x, y), logic.Rel("s", z, w), logic.Rel("r", w)),
+			logic.NewClause(logic.Rel("p", a),
+				logic.Rel("q", a, b), logic.Rel("q", a, cst),
+				logic.Rel("s", b, cst), logic.Rel("s", cst, a), logic.Rel("r", a)),
+		},
+		{
+			"repeated predicates",
+			logic.NewClause(logic.Rel("p", x), logic.Rel("q", x, y), logic.Rel("q", y, z), logic.Rel("q", z, x)),
+			logic.NewClause(logic.Rel("p", a),
+				logic.Rel("q", a, b), logic.Rel("q", b, cst), logic.Rel("q", cst, a), logic.Rel("q", b, a)),
+		},
+		{
+			"all-equal image sizes",
+			logic.NewClause(logic.Rel("p", x), logic.Rel("q", x, y), logic.Rel("s", y, z), logic.Rel("r", z)),
+			logic.NewClause(logic.Rel("p", a),
+				logic.Rel("q", a, b), logic.Rel("q", a, cst),
+				logic.Rel("s", b, cst), logic.Rel("s", cst, b),
+				logic.Rel("r", cst), logic.Rel("r", b)),
+		},
+		{
+			"disconnected and unsatisfiable half",
+			logic.NewClause(logic.Rel("p", x), logic.Rel("q", x, x), logic.Rel("s", z, z)),
+			logic.NewClause(logic.Rel("p", a),
+				logic.Rel("q", a, a), logic.Rel("s", b, cst), logic.Rel("s", cst, b)),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkAgainstReference(t, ch, tc.c, tc.d)
+		})
 	}
 }
 
@@ -288,6 +355,13 @@ func FuzzSubsumes(f *testing.F) {
 	f.Add([]byte("subsumption-fuzz-seed"))
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
 	f.Add([]byte{255, 254, 3, 9, 27, 81, 243, 7, 21, 63, 189, 55})
+	// Planner-adversarial scripts: disconnected bodies (terms drawn from
+	// non-overlapping variable halves), repeated predicates (the generator's
+	// predicate table already doubles q/2; bytes below pin long q-runs), and
+	// all-equal image sizes (uniform repetition on the ground side).
+	f.Add([]byte{7, 0, 0, 2, 4, 0, 6, 0, 0, 0, 3, 1, 1, 5, 1, 1, 7, 3, 3, 9, 3, 3})
+	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{11, 3, 2, 4, 3, 6, 8, 3, 10, 12, 3, 14, 16, 3, 18, 20, 3, 22, 24, 3, 26})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s := &byteSrc{data: data}
 		c := fuzzClause(s, 3, false)

@@ -33,8 +33,14 @@ type compiled struct {
 	// infeasible marks a probe where some literal of c has no candidate
 	// image in d; the search is skipped entirely.
 	infeasible bool
-	maxNodes   int
-	nodes      int
+	// planned reports whether the literal planner ordered lits (false when
+	// the planner is disabled or the probe bailed as infeasible).
+	planned bool
+	// planNanos is the time spent computing the literal plan, measured only
+	// when the probe asked for it (ProbeOptions.TimePlan).
+	planNanos int64
+	maxNodes  int
+	nodes     int
 
 	// ctx cancels the search: the node loop polls it periodically and a
 	// cancelled search reports "does not subsume", exactly like an exhausted
@@ -118,7 +124,7 @@ func (p *Prepared) SubsumesContext(ctx context.Context, c logic.Clause) (bool, l
 	if c.Head.Pred != p.d.Head.Pred || len(c.Head.Args) != len(p.d.Head.Args) {
 		return false, nil
 	}
-	return compileAgainst(ctx, c, p, false).run()
+	return compileAgainst(ctx, c, p, false, false).run()
 }
 
 // SubsumesPlain reports whether c θ-subsumes the prepared clause, ignoring
@@ -132,7 +138,7 @@ func (p *Prepared) SubsumesPlainContext(ctx context.Context, c logic.Clause) (bo
 	if c.Head.Pred != p.d.Head.Pred || len(c.Head.Args) != len(p.d.Head.Args) {
 		return false, nil
 	}
-	return compileAgainst(ctx, c, p, true).run()
+	return compileAgainst(ctx, c, p, true, false).run()
 }
 
 // compiledLit is one relation or repair literal of c with its candidate
@@ -163,14 +169,14 @@ type binding struct {
 }
 
 func (ch *Checker) compile(ctx context.Context, c, d logic.Clause, skipClosure bool) *compiled {
-	return compileAgainst(ctx, c, ch.Prepare(d), skipClosure)
+	return compileAgainst(ctx, c, ch.Prepare(d), skipClosure, ch.Opts.DisablePlanner)
 }
 
 // compileAgainst compiles the c-side of a subsumption problem against an
 // already prepared d-side. One-shot entry point; repeated probes of the same
 // candidate should go through CompileCandidate.
-func compileAgainst(ctx context.Context, c logic.Clause, prep *Prepared, skipClosure bool) *compiled {
-	return CompileCandidate(c).against(ctx, prep, skipClosure)
+func compileAgainst(ctx context.Context, c logic.Clause, prep *Prepared, skipClosure, noPlanner bool) *compiled {
+	return CompileCandidate(c).against(ctx, prep, ProbeOptions{Plain: skipClosure, NoPlanner: noPlanner})
 }
 
 func headVarIDs(c logic.Clause, varIndex map[string]int) []int {
@@ -178,56 +184,6 @@ func headVarIDs(c logic.Clause, varIndex map[string]int) []int {
 	for _, a := range c.Head.Args {
 		if a.IsVar() {
 			out = append(out, varIndex[a.Name])
-		}
-	}
-	return out
-}
-
-// orderLits produces a search order over the compiled literals: repeatedly
-// pick, among literals sharing a variable with the already-covered variable
-// set, the one with the fewest candidates (falling back to the globally
-// fewest-candidate literal when none is connected).
-func orderLits(lits []compiledLit, numVars int, seedVars []int) []compiledLit {
-	covered := make([]bool, numVars)
-	for _, v := range seedVars {
-		covered[v] = true
-	}
-	used := make([]bool, len(lits))
-	out := make([]compiledLit, 0, len(lits))
-	connectedTo := func(cl compiledLit) bool {
-		for _, a := range cl.args {
-			if a.varID >= 0 && covered[a.varID] {
-				return true
-			}
-		}
-		return false
-	}
-	for len(out) < len(lits) {
-		best := -1
-		bestConnected := false
-		for i, cl := range lits {
-			if used[i] {
-				continue
-			}
-			conn := connectedTo(cl)
-			if best < 0 {
-				best, bestConnected = i, conn
-				continue
-			}
-			cur := lits[best]
-			switch {
-			case conn && !bestConnected:
-				best, bestConnected = i, conn
-			case conn == bestConnected && len(cl.candidates) < len(cur.candidates):
-				best, bestConnected = i, conn
-			}
-		}
-		used[best] = true
-		out = append(out, lits[best])
-		for _, a := range lits[best].args {
-			if a.varID >= 0 {
-				covered[a.varID] = true
-			}
 		}
 	}
 	return out

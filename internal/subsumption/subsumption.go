@@ -7,8 +7,10 @@
 //
 // The implementation compiles the subsuming clause into an integer-indexed
 // constraint-satisfaction problem (dense variable ids, per-literal candidate
-// lists filtered by constants, connectivity-aware ordering) and runs a
-// bounded backtracking search.
+// lists filtered by constants) and runs a bounded backtracking search whose
+// literal order is chosen per probe by a statistics-free selectivity planner
+// (see planner.go); plans are permutations, so the planner changes node
+// counts, never outcomes.
 package subsumption
 
 import (
@@ -24,6 +26,14 @@ type Options struct {
 	// MaxNodes caps the number of search nodes explored. Zero means
 	// DefaultMaxNodes.
 	MaxNodes int
+	// DisablePlanner turns off the per-probe literal planner, so the
+	// backtracking search tries the candidate's body literals in clause
+	// order instead of selectivity order. The planner never changes a
+	// probe's outcome — plans are permutations — so this switch exists for
+	// differential testing and A/B measurement, is off (planner on) by
+	// default, and is deliberately excluded from snapshot and result
+	// fingerprints.
+	DisablePlanner bool
 }
 
 // DefaultMaxNodes is the default search budget.
