@@ -16,11 +16,14 @@
 //	dlearn-bench -exp table4 -json ""   # disable the JSON summary
 //
 // Experiments: table3, table4, table5, table6, table7, fig1left, fig1mid,
-// fig1right, coverage, all. The coverage experiment is a micro-benchmark of
-// the candidate-evaluation pipeline; its BENCH_coverage.json records the
-// throughput numbers tracked across engine versions, including the literal
-// planner's win rate and node saving versus fixed-order search (plan_*
-// fields).
+// fig1right, coverage, scale, all. The coverage experiment is a
+// micro-benchmark of the candidate-evaluation pipeline; its
+// BENCH_coverage.json records the throughput numbers tracked across engine
+// versions, including the literal planner's win rate and node saving versus
+// fixed-order search (plan_* fields). The scale experiment reruns that
+// workload at 1x/10x(/100x) tuple multipliers and writes BENCH_scale.json
+// with the data layer's growth curve (prepare seconds, resident bytes,
+// snapshot bytes, cover tests/s at each scale).
 package main
 
 import (
@@ -39,7 +42,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: table3|table4|table5|table6|table7|fig1left|fig1mid|fig1right|coverage|all")
+		exp     = flag.String("exp", "all", "experiment to run: table3|table4|table5|table6|table7|fig1left|fig1mid|fig1right|coverage|scale|all")
 		quick   = flag.Bool("quick", false, "shrink datasets and sweeps for a fast smoke run")
 		seed    = flag.Int64("seed", 1, "random seed for data generation and splits")
 		threads = flag.Int("threads", 16, "parallel coverage-testing workers")
@@ -83,7 +86,7 @@ func main() {
 			return err
 		},
 	}
-	order := []string{"table3", "table4", "table5", "table6", "table7", "fig1left", "fig1mid", "fig1right", "coverage"}
+	order := []string{"table3", "table4", "table5", "table6", "table7", "fig1left", "fig1mid", "fig1right", "coverage", "scale"}
 
 	// runOne executes one experiment with a fresh timing collector and, when
 	// enabled, writes its BENCH_<name>.json summary next to the tables. The
@@ -101,6 +104,21 @@ func main() {
 			}
 			path := filepath.Join(*jsonDir, "BENCH_coverage.json")
 			if err := bench.WriteCoverageJSON(path, summary); err != nil {
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+			fmt.Printf("wrote %s\n", path)
+			return nil
+		}
+		if name == "scale" {
+			summary, err := bench.RunScale(ctx, o)
+			if err != nil {
+				return err
+			}
+			if *jsonDir == "" {
+				return nil
+			}
+			path := filepath.Join(*jsonDir, "BENCH_scale.json")
+			if err := bench.WriteScaleJSON(path, summary); err != nil {
 				return fmt.Errorf("writing %s: %w", path, err)
 			}
 			fmt.Printf("wrote %s\n", path)

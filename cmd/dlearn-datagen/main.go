@@ -23,7 +23,8 @@ func main() {
 		out        = flag.String("out", "./data", "output directory")
 		violations = flag.Float64("violations", 0, "CFD violation rate p")
 		seed       = flag.Int64("seed", 7, "generation seed")
-		scale      = flag.Int("scale", 0, "entity count override (movies/products/papers)")
+		scale      = flag.Int("scale", 1, "tuple-count multiplier (1, 10, 100, ...); deterministic under -seed")
+		entities   = flag.Int("entities", 0, "base entity count override (movies/products/papers)")
 	)
 	flag.Parse()
 
@@ -36,24 +37,27 @@ func main() {
 		cfg := dlearn.DefaultMoviesConfig()
 		cfg.ViolationRate = *violations
 		cfg.Seed = *seed
-		if *scale > 0 {
-			cfg.Movies = *scale
+		cfg.Scale = *scale
+		if *entities > 0 {
+			cfg.Movies = *entities
 		}
 		ds, err = dlearn.GenerateMovies(cfg)
 	case "products":
 		cfg := dlearn.DefaultProductsConfig()
 		cfg.ViolationRate = *violations
 		cfg.Seed = *seed
-		if *scale > 0 {
-			cfg.Products = *scale
+		cfg.Scale = *scale
+		if *entities > 0 {
+			cfg.Products = *entities
 		}
 		ds, err = dlearn.GenerateProducts(cfg)
 	case "citations":
 		cfg := dlearn.DefaultCitationsConfig()
 		cfg.ViolationRate = *violations
 		cfg.Seed = *seed
-		if *scale > 0 {
-			cfg.Papers = *scale
+		cfg.Scale = *scale
+		if *entities > 0 {
+			cfg.Papers = *entities
 		}
 		ds, err = dlearn.GenerateCitations(cfg)
 	default:

@@ -247,13 +247,22 @@ func TestEngineDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
+// tinyGoldenDefinition is the definition learned from the tiny problem with
+// tinyEngineOptions and seed 7, captured before the data layer moved to the
+// interned columnar backend. Pinning the exact bytes (not just cross-run
+// equality) proves the refactor changed the representation without changing
+// a single learned clause.
+const tinyGoldenDefinition = "highGrossing(v0) <- v0 ~ v1, V[md_title/md_title#0|v0~v1](v0, f0), V[md_title/md_title#0|v0~v1](v1, f1), f0 = f1, movies(v2, v1, 2007), movies(v3, v4, 2007), movies(v5, v6, 2007), movies(v7, v8, 2007), movies(v9, v10, 2007), movies(v11, v12, 2007), mov2genres(v2, comedy).  (pos=3, neg=0)"
+
 // TestEngineDeterministicAcrossThreadCounts pins the two-tier scheduler's
 // central promise: the learned definition is byte-identical for a fixed seed
 // regardless of the inner thread count and the outer candidate parallelism,
 // because the scheduler's shared floor only prunes candidates that provably
 // cannot win. The matrix also crosses the literal planner on/off: a plan is a
 // permutation of one probe's search order, so it may change how a fixed point
-// is reached but never which definition is learned.
+// is reached but never which definition is learned. The serial reference is
+// additionally pinned to the pre-refactor golden output, so the whole matrix
+// transitively certifies the interned data layer against the boxed one.
 func TestEngineDeterministicAcrossThreadCounts(t *testing.T) {
 	p := buildTinyProblemFluent(t)
 	base := append(tinyEngineOptions(), dlearn.WithSeed(7))
@@ -261,6 +270,9 @@ func TestEngineDeterministicAcrossThreadCounts(t *testing.T) {
 		Learn(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if ref.String() != tinyGoldenDefinition {
+		t.Errorf("serial run diverged from the pre-refactor golden definition:\n%s\nvs\n%s", ref, tinyGoldenDefinition)
 	}
 	for _, planner := range []bool{true, false} {
 		for _, cfg := range []struct{ threads, candPar int }{
@@ -277,6 +289,66 @@ func TestEngineDeterministicAcrossThreadCounts(t *testing.T) {
 			if def.String() != ref.String() {
 				t.Errorf("threads=%d candidateParallelism=%d planner=%v diverged from the serial run:\n%s\nvs\n%s",
 					cfg.threads, cfg.candPar, planner, def, ref)
+			}
+		}
+	}
+}
+
+// moviesGoldenDefinition is the definition learned from the generated
+// IMDB+OMDB dataset below, captured before the interned columnar data layer
+// replaced the boxed one. The two clauses are joined by "\n" exactly as
+// Definition.String renders them.
+const moviesGoldenDefinition = "dramaRestrictedMovies(v0) <- imdb_mov2genres(v0, Drama), imdb_mov2genres(v0, Documentary), imdb_mov2cast(v0, v7), imdb_mov2cast(v0, v8), imdb_mov2writers(v0, v9), imdb_mov2cast(v20, v7), imdb_mov2writers(v21, v8), imdb_mov2writers(v22, v8).  (pos=3, neg=0)\n" +
+	"dramaRestrictedMovies(v0) <- v1 ~ v2, V[md_title/md_title#0|v1~v2](v1, f0), f0 = f1, v1 ~ v3, V[md_title/md_title#1|v1~v3](v1, f2), f2 = f3, v1 ~ v4, V[md_title/md_title#2|v1~v4](v1, f4), f4 = f5, v1 ~ v5, V[md_title/md_title#3|v1~v5](v1, f6), f6 = f7, v1 ~ v6, V[md_title/md_title#4|v1~v6](v1, f8), f8 = f9, imdb_movies(v0, v1, 1994), imdb_mov2genres(v0, Drama), imdb_mov2cast(v0, v7), imdb_mov2cast(v0, v8), imdb_mov2writers(v0, v9), imdb_mov2writers(v21, v7).  (pos=2, neg=0)"
+
+// TestEngineGoldenMoviesAcrossThreadCounts is the generated-dataset leg of
+// the golden-determinism battery: a small IMDB+OMDB problem (exercising MDs,
+// similarity literals and the full bottom-clause pipeline against the
+// interned instance) must learn the exact pre-refactor definition, across
+// thread counts, candidate parallelism and the literal planner toggle.
+func TestEngineGoldenMoviesAcrossThreadCounts(t *testing.T) {
+	mcfg := dlearn.DefaultMoviesConfig()
+	mcfg.MDCount = 1
+	mcfg.Seed = 101
+	mcfg.Movies = 100
+	mcfg.Positives = 12
+	mcfg.Negatives = 24
+	ds, err := dlearn.GenerateMovies(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &dlearn.Problem{
+		Target:   ds.Problem.Target,
+		Instance: ds.Problem.Instance,
+		MDs:      ds.Problem.MDs,
+		CFDs:     ds.Problem.CFDs,
+		Pos:      ds.Problem.Pos,
+		Neg:      ds.Problem.Neg,
+	}
+	base := []dlearn.Option{
+		dlearn.WithSeed(3),
+		dlearn.WithIterations(2),
+		dlearn.WithSampleSize(4),
+		dlearn.WithGeneralizationSample(4),
+		dlearn.WithNegativeSearchSample(16),
+		dlearn.WithMaxClauses(4),
+		dlearn.WithSubsumptionBudget(10000),
+	}
+	for _, planner := range []bool{true, false} {
+		for _, cfg := range []struct{ threads, candPar int }{
+			{1, 1}, {4, 1}, {4, 4}, {8, 3},
+		} {
+			def, _, err := dlearn.New(append(base,
+				dlearn.WithThreads(cfg.threads),
+				dlearn.WithCandidateParallelism(cfg.candPar),
+				dlearn.WithLiteralPlanner(planner))...).
+				Learn(context.Background(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if def.String() != moviesGoldenDefinition {
+				t.Errorf("threads=%d candidateParallelism=%d planner=%v diverged from the pre-refactor golden:\n%s\nvs\n%s",
+					cfg.threads, cfg.candPar, planner, def, moviesGoldenDefinition)
 			}
 		}
 	}

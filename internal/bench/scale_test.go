@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunScaleQuick smoke-tests the scale-up benchmark at quick scale: both
+// points land, the 10x instance is measurably larger, and every measurement
+// the JSON schema promises is populated.
+func TestRunScaleQuick(t *testing.T) {
+	o := QuickOptions()
+	o.Out = io.Discard
+	s, err := RunScale(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Experiment != "scale" || !s.Quick {
+		t.Errorf("bad run configuration: %+v", s)
+	}
+	if len(s.Points) != 2 || s.Points[0].Scale != 1 || s.Points[1].Scale != 10 {
+		t.Fatalf("quick run must measure scales [1 10], got %+v", s.Points)
+	}
+	p1, p10 := s.Points[0], s.Points[1]
+	if p10.Tuples <= 5*p1.Tuples {
+		t.Errorf("10x point should hold ~10x the tuples: %d vs %d", p10.Tuples, p1.Tuples)
+	}
+	if p10.DistinctValues <= p1.DistinctValues {
+		t.Errorf("10x point should intern more values: %d vs %d", p10.DistinctValues, p1.DistinctValues)
+	}
+	for _, p := range s.Points {
+		if p.Positives <= 0 || p.Negatives <= 0 {
+			t.Errorf("scale %d: empty workload: %+v", p.Scale, p)
+		}
+		if p.PrepareSeconds <= 0 || p.ResidentBytes == 0 || p.SnapshotBytes <= 0 {
+			t.Errorf("scale %d: missing data-layer measurements: %+v", p.Scale, p)
+		}
+		if p.CoverTestsPerSecond <= 0 || p.LearnSeconds <= 0 {
+			t.Errorf("scale %d: missing throughput measurements: %+v", p.Scale, p)
+		}
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_scale.json")
+	if err := WriteScaleJSON(path, s); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatalf("BENCH_scale.json is not valid JSON: %v", err)
+	}
+	points, ok := raw["points"].([]any)
+	if !ok || len(points) != 2 {
+		t.Fatalf("points did not round-trip: %v", raw["points"])
+	}
+	pt, ok := points[0].(map[string]any)
+	if !ok {
+		t.Fatalf("point 0 is not an object: %v", points[0])
+	}
+	for _, key := range []string{
+		"scale", "tuples", "distinct_values", "positives", "negatives",
+		"prepare_seconds", "resident_bytes", "snapshot_bytes",
+		"cover_tests_per_second", "learn_seconds", "learn_clauses",
+	} {
+		if _, ok := pt[key]; !ok {
+			t.Errorf("BENCH_scale.json point is missing key %q", key)
+		}
+	}
+}
+
+// TestRunScaleCancelled checks that a cancelled context aborts the run.
+func TestRunScaleCancelled(t *testing.T) {
+	o := QuickOptions()
+	o.Out = io.Discard
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunScale(ctx, o); err == nil {
+		t.Fatal("cancelled RunScale should return an error")
+	}
+}

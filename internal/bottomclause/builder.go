@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"dlearn/internal/constraints"
 	"dlearn/internal/logic"
@@ -151,7 +152,7 @@ func (b *Builder) collect(example relation.Tuple) (collection, error) {
 	if len(example.Values) != b.target.Arity() {
 		return collection{}, fmt.Errorf("bottomclause: example arity %d does not match target %s", len(example.Values), b.target)
 	}
-	rng := rand.New(rand.NewSource(b.cfg.Seed ^ int64(hashString(example.Key()))))
+	rng := rand.New(rand.NewSource(b.cfg.Seed ^ int64(hashString(seedKey(example)))))
 
 	// M: known constants annotated with the domains they were seen in.
 	m := make(map[string]map[string]bool)
@@ -175,17 +176,29 @@ func (b *Builder) collect(example relation.Tuple) (collection, error) {
 	perRel := make(map[string]int)
 	schema := b.inst.Schema()
 
-	addTuple := func(t relation.Tuple) bool {
-		if seenTuples[t.Key()] {
-			return false
+	// Tuples are identified by their interned row IDs while collecting;
+	// IDs are canonical per value within the instance, so ID-row equality
+	// is exactly value equality. Rows are only materialized to strings
+	// once they are actually added to the clause.
+	var idScratch []uint32
+	var keyScratch []byte
+	addTuple := func(rel string, pos int) (relation.Tuple, bool) {
+		idScratch = b.inst.RowIDs(idScratch[:0], rel, pos)
+		keyScratch = append(keyScratch[:0], rel...)
+		keyScratch = append(keyScratch, 0)
+		keyScratch = appendIDKey(keyScratch, idScratch)
+		key := string(keyScratch)
+		if seenTuples[key] {
+			return relation.Tuple{}, false
 		}
-		if b.cfg.SampleSize > 0 && perRel[t.Relation] >= b.cfg.SampleSize {
-			return false
+		if b.cfg.SampleSize > 0 && perRel[rel] >= b.cfg.SampleSize {
+			return relation.Tuple{}, false
 		}
-		seenTuples[t.Key()] = true
-		perRel[t.Relation]++
+		seenTuples[key] = true
+		perRel[rel]++
+		t := b.inst.TupleAt(rel, pos)
 		col.tuples = append(col.tuples, t)
-		return true
+		return t, true
 	}
 
 	mds := b.activeMDs()
@@ -196,7 +209,7 @@ func (b *Builder) collect(example relation.Tuple) (collection, error) {
 
 		for _, relName := range schema.Names() {
 			rel := schema.Relation(relName)
-			var candidates []relation.Tuple
+			var candidates []int
 
 			// Exact selection over comparable attributes: σ_{A∈M}(R).
 			for a := 0; a < rel.Arity(); a++ {
@@ -205,7 +218,7 @@ func (b *Builder) collect(example relation.Tuple) (collection, error) {
 					if !m[c][domain] {
 						continue
 					}
-					candidates = append(candidates, b.inst.Select(relName, a, c)...)
+					candidates = append(candidates, b.inst.SelectPositions(relName, a, c)...)
 				}
 			}
 
@@ -228,10 +241,10 @@ func (b *Builder) collect(example relation.Tuple) (collection, error) {
 						}
 						switch b.cfg.MDMode {
 						case MDExact:
-							candidates = append(candidates, b.inst.Select(relName, ra, c)...)
+							candidates = append(candidates, b.inst.SelectPositions(relName, ra, c)...)
 						case MDSimilarity:
 							for _, match := range b.similar(relName, ra, c) {
-								candidates = append(candidates, b.inst.Select(relName, ra, match.Value)...)
+								candidates = append(candidates, b.inst.SelectPositions(relName, ra, match.Value)...)
 								if match.Value != c {
 									key := md.Name + "\x1f" + c + "\x1f" + match.Value
 									if !seenMatches[key] {
@@ -247,7 +260,7 @@ func (b *Builder) collect(example relation.Tuple) (collection, error) {
 				}
 			}
 
-			candidates = dedupTuples(candidates)
+			candidates = b.dedupPositions(relName, candidates)
 			// Respect the per-relation sample size by sampling the
 			// candidates deterministically.
 			if b.cfg.SampleSize > 0 {
@@ -262,8 +275,8 @@ func (b *Builder) collect(example relation.Tuple) (collection, error) {
 					candidates = candidates[:budget]
 				}
 			}
-			for _, t := range candidates {
-				if addTuple(t) {
+			for _, p := range candidates {
+				if t, ok := addTuple(relName, p); ok {
 					added = append(added, t)
 				}
 			}
@@ -351,18 +364,43 @@ func snapshotConstants(m map[string]map[string]bool) []string {
 	return out
 }
 
-func dedupTuples(ts []relation.Tuple) []relation.Tuple {
-	seen := make(map[string]bool, len(ts))
-	out := ts[:0]
-	for _, t := range ts {
-		k := t.Key()
+// dedupPositions removes rows with identical values (not merely identical
+// positions) from a candidate position list of one relation, keeping the
+// first occurrence. Rows are compared by their interned ID vectors.
+func (b *Builder) dedupPositions(rel string, ps []int) []int {
+	seen := make(map[string]bool, len(ps))
+	var ids []uint32
+	var key []byte
+	out := ps[:0]
+	for _, p := range ps {
+		ids = b.inst.RowIDs(ids[:0], rel, p)
+		key = appendIDKey(key[:0], ids)
+		k := string(key)
 		if seen[k] {
 			continue
 		}
 		seen[k] = true
-		out = append(out, t)
+		out = append(out, p)
 	}
 	return out
+}
+
+// appendIDKey appends the little-endian bytes of the IDs to dst, forming a
+// collision-free map key for a row of interned values.
+func appendIDKey(dst []byte, ids []uint32) []byte {
+	for _, id := range ids {
+		dst = append(dst, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return dst
+}
+
+// seedKey renders the example in the historical tuple-key format the
+// sampling rng has always been seeded from. relation.Tuple.Key moved to a
+// collision-free length-prefixed encoding; the seed string stays on the old
+// rendering so sampled bottom clauses — and hence learned definitions — are
+// reproducible across releases. A seed needs determinism, not injectivity.
+func seedKey(t relation.Tuple) string {
+	return t.Relation + "(" + strings.Join(t.Values, "\x1f") + ")"
 }
 
 func hashString(s string) uint32 {

@@ -2,6 +2,8 @@ package coverage
 
 import (
 	"context"
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -186,5 +188,58 @@ func TestLoadOrPrepareCancelled(t *testing.T) {
 	_, _, _, err := e.LoadOrPrepareExamples(ctx, nil, persist.Key{}, snapshotGrounds(2), nil)
 	if err != context.Canceled {
 		t.Fatalf("cancelled LoadOrPrepare error = %v, want context.Canceled", err)
+	}
+}
+
+// TestLoadOrPrepareOldVersionSnapshot proves the codec-version upgrade path
+// end to end: a snapshot in the previous format version under the right key
+// is cleanly rejected, preparation runs fresh, and the write-back upgrades
+// the stored snapshot so the next call hits.
+func TestLoadOrPrepareOldVersionSnapshot(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	store := persist.NewDirStore(dir)
+	key := snapshotTestKey()
+	posG := snapshotGrounds(4)
+	e := NewEvaluator(Options{Threads: 2})
+	if _, _, _, err := e.LoadOrPrepareExamples(ctx, store, key, posG, nil); err != nil {
+		t.Fatalf("seeding store: %v", err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("snapshot dir: entries=%d err=%v", len(entries), err)
+	}
+	path := filepath.Join(dir, entries[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading snapshot: %v", err)
+	}
+	// Rewrite the header to the previous format version with a valid
+	// checksum, as a file written by an older binary would carry.
+	old := data[: len(data)-4 : len(data)-4]
+	old[6], old[7] = 0, 1
+	old = binary.BigEndian.AppendUint32(old, crc32.ChecksumIEEE(old))
+	if err := os.WriteFile(path, old, 0o644); err != nil {
+		t.Fatalf("writing old-version snapshot: %v", err)
+	}
+
+	pos, _, out, err := e.LoadOrPrepareExamples(ctx, store, key, posG, nil)
+	if err != nil {
+		t.Fatalf("LoadOrPrepare over old-version snapshot: %v", err)
+	}
+	if out.Hit {
+		t.Fatal("old-version snapshot reported as a hit")
+	}
+	if len(pos) != len(posG) {
+		t.Fatalf("fallback prepared %d examples, want %d", len(pos), len(posG))
+	}
+	// The write-back upgraded the file in place; the next call hits.
+	_, _, out, err = e.LoadOrPrepareExamples(ctx, store, key, posG, nil)
+	if err != nil {
+		t.Fatalf("LoadOrPrepare after upgrade: %v", err)
+	}
+	if !out.Hit {
+		t.Fatalf("store not upgraded after old-version fallback (%s)", out.Reason)
 	}
 }

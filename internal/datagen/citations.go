@@ -32,6 +32,9 @@ type CitationsConfig struct {
 	ExactTitleRate float64
 	// Positives / Negatives are the numbers of labelled examples to emit.
 	Positives, Negatives int
+	// Scale multiplies the entity count (0 or 1 = base scale); see
+	// MoviesConfig.Scale.
+	Scale int
 	// Seed drives all random choices.
 	Seed int64
 }
@@ -78,7 +81,7 @@ func Citations(cfg CitationsConfig) (*Dataset, error) {
 	var positives []labelled
 	var negatives []labelled
 
-	for i := 0; i < cfg.Papers; i++ {
+	for i := 0; i < cfg.Papers*scaleFactor(cfg.Scale); i++ {
 		did := fmt.Sprintf("conf/x/%05d", i)
 		gsID := fmt.Sprintf("gs%06d", i)
 		year := 1995 + rng.Intn(28)

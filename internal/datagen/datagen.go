@@ -154,3 +154,14 @@ func alternative(rng *rand.Rand, list []string, not string) string {
 	}
 	return not + " (disputed)"
 }
+
+// scaleFactor normalises a config's Scale multiplier: zero (the zero value)
+// and one both mean the base entity count; larger values multiply it. The
+// generators stay deterministic under a fixed seed at every scale because the
+// multiplier only extends the single entity loop.
+func scaleFactor(s int) int {
+	if s <= 1 {
+		return 1
+	}
+	return s
+}

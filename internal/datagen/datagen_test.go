@@ -208,3 +208,43 @@ func TestHeterogeneityHelpers(t *testing.T) {
 		t.Errorf("alternative should avoid the excluded value, got %q", got)
 	}
 }
+
+func TestScaleMultiplier(t *testing.T) {
+	base := DefaultMoviesConfig()
+	base.Movies = 40
+	base.Positives = 8
+	base.Negatives = 16
+
+	// Scale 0 and 1 are both the base scale.
+	at := func(scale int) *Dataset {
+		cfg := base
+		cfg.Scale = scale
+		ds, err := Movies(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	s0, s1, s10 := at(0), at(1), at(10)
+	if s0.Stats().Tuples != s1.Stats().Tuples {
+		t.Errorf("scale 0 and 1 differ: %d vs %d tuples", s0.Stats().Tuples, s1.Stats().Tuples)
+	}
+	if got, want := s10.Stats().Tuples, 8*s1.Stats().Tuples; got < want {
+		t.Errorf("scale 10 should multiply tuples ~10x: got %d, base %d", got, s1.Stats().Tuples)
+	}
+
+	// Deterministic under a fixed seed: two runs at the same scale agree
+	// tuple-for-tuple.
+	a, b := at(10), at(10)
+	for _, rel := range a.Problem.Instance.Schema().Relations() {
+		ta, tb := a.Problem.Instance.Tuples(rel.Name), b.Problem.Instance.Tuples(rel.Name)
+		if len(ta) != len(tb) {
+			t.Fatalf("%s: %d vs %d tuples across runs", rel.Name, len(ta), len(tb))
+		}
+		for i := range ta {
+			if ta[i].Key() != tb[i].Key() {
+				t.Fatalf("%s[%d]: %v vs %v", rel.Name, i, ta[i], tb[i])
+			}
+		}
+	}
+}

@@ -27,6 +27,10 @@ type MoviesConfig struct {
 	ExactNameRate float64
 	// Positives / Negatives are the numbers of labelled examples to emit.
 	Positives, Negatives int
+	// Scale multiplies the entity count (0 or 1 = base scale). It exists for
+	// the scale-up benchmark: -scale 10 generates 10x the movies (and so
+	// roughly 10x the tuples) under the same seed, deterministically.
+	Scale int
 	// Seed drives all random choices.
 	Seed int64
 }
@@ -92,7 +96,7 @@ func Movies(cfg MoviesConfig) (*Dataset, error) {
 	truth := make(map[string]bool)
 	var posIDs, negIDs []string
 
-	for i := 0; i < cfg.Movies; i++ {
+	for i := 0; i < cfg.Movies*scaleFactor(cfg.Scale); i++ {
 		imdbID := fmt.Sprintf("tt%05d", i)
 		omdbID := fmt.Sprintf("om%05d", i)
 		year := 1980 + rng.Intn(45)

@@ -28,6 +28,9 @@ type ProductsConfig struct {
 	ExactTitleRate float64
 	// Positives / Negatives are the numbers of labelled examples to emit.
 	Positives, Negatives int
+	// Scale multiplies the entity count (0 or 1 = base scale); see
+	// MoviesConfig.Scale.
+	Scale int
 	// Seed drives all random choices.
 	Seed int64
 }
@@ -81,7 +84,7 @@ func Products(cfg ProductsConfig) (*Dataset, error) {
 	truth := make(map[string]bool)
 	var posIDs, negIDs []string
 
-	for i := 0; i < cfg.Products; i++ {
+	for i := 0; i < cfg.Products*scaleFactor(cfg.Scale); i++ {
 		wid := fmt.Sprintf("w%05d", i)
 		aid := fmt.Sprintf("a%05d", i)
 		upc := fmt.Sprintf("0%011d", 10000+i)

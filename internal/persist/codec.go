@@ -9,15 +9,24 @@ import (
 	"dlearn/internal/subsumption"
 )
 
-// The snapshot wire format, version 1:
+// The snapshot wire format, version 2:
 //
 //	magic   "DLSNAP"            6 bytes
 //	version uint16 big-endian   2 bytes
+//	strings string table        uvarint count, then per string uvarint length + bytes
 //	payload                     varint-framed values, see below
 //	crc32   IEEE, big-endian    4 bytes, over everything before it
 //
+// Every string of the payload — term names, predicates, repair groups — is
+// interned into the string table (in first-encounter order of the payload
+// walk) and referenced by uvarint ID. Terms pack the variable flag into the
+// low bit of the ID: uvarint(id<<1 | var). Version 1 wrote every string
+// inline at every occurrence; the table writes each distinct value once,
+// which is where the bulk of the snapshot-size reduction comes from (ground
+// bottom clauses repeat the same constants across examples relentlessly).
+//
 // The payload is a deterministic depth-first serialization of an ExampleSet:
-// integers as (u)varints, strings length-prefixed, slices count-prefixed.
+// integers as (u)varints, strings as table IDs, slices count-prefixed.
 // Determinism matters beyond aesthetics: encode(decode(encode(x))) is
 // byte-identical, so snapshot files can be compared and deduplicated by
 // content, and the round-trip property is testable exactly.
@@ -28,7 +37,7 @@ import (
 
 const (
 	codecMagic   = "DLSNAP"
-	codecVersion = 1
+	codecVersion = 2
 )
 
 // ExampleSnapshot is the persistable form of one prepared coverage example:
@@ -51,23 +60,39 @@ type ExampleSet struct {
 	Neg []ExampleSnapshot
 }
 
-// EncodeExampleSet serializes the set in the versioned binary format.
+// EncodeExampleSet serializes the set in the versioned binary format. The
+// payload is encoded first so the string table is complete (in
+// first-encounter order), then the file is assembled around it.
 func EncodeExampleSet(set ExampleSet) []byte {
-	e := &encoder{buf: make([]byte, 0, 1<<16)}
-	e.buf = append(e.buf, codecMagic...)
-	e.buf = binary.BigEndian.AppendUint16(e.buf, codecVersion)
+	e := &encoder{buf: make([]byte, 0, 1<<16), table: make(map[string]uint32)}
 	e.exampleList(set.Pos)
 	e.exampleList(set.Neg)
-	return binary.BigEndian.AppendUint32(e.buf, crc32.ChecksumIEEE(e.buf))
+
+	tableSize := binary.MaxVarintLen64
+	for _, s := range e.order {
+		tableSize += binary.MaxVarintLen64 + len(s)
+	}
+	out := make([]byte, 0, len(codecMagic)+2+tableSize+len(e.buf)+4)
+	out = append(out, codecMagic...)
+	out = binary.BigEndian.AppendUint16(out, codecVersion)
+	out = binary.AppendUvarint(out, uint64(len(e.order)))
+	for _, s := range e.order {
+		out = binary.AppendUvarint(out, uint64(len(s)))
+		out = append(out, s...)
+	}
+	out = append(out, e.buf...)
+	return binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
 }
 
 // DecodeExampleSet parses a snapshot, verifying the magic, version and
-// checksum first so a truncated or corrupted file fails fast with an error
-// instead of yielding garbage preparations. Terms and literals are interned
-// during decoding: structurally identical literals across all examples of
-// the set share one backing structure, which is what lets paper-scale runs
-// hold hundreds of prepared examples with heavily overlapping bottom
-// clauses in memory.
+// checksum first so a truncated or corrupted file — or a snapshot written by
+// an older codec — fails fast with an error instead of yielding garbage
+// preparations; the caller falls back to a fresh preparation and writes the
+// current format back. Strings are shared through the table and literals are
+// interned during decoding: structurally identical literals across all
+// examples of the set share one backing structure, which is what lets
+// paper-scale runs hold hundreds of prepared examples with heavily
+// overlapping bottom clauses in memory.
 func DecodeExampleSet(data []byte) (ExampleSet, error) {
 	if len(data) < len(codecMagic)+2+4 {
 		return ExampleSet{}, fmt.Errorf("persist: snapshot truncated (%d bytes)", len(data))
@@ -83,6 +108,7 @@ func DecodeExampleSet(data []byte) (ExampleSet, error) {
 		return ExampleSet{}, fmt.Errorf("persist: snapshot checksum mismatch")
 	}
 	d := &decoder{data: body, off: len(codecMagic) + 2, in: newInterner()}
+	d.stringTable()
 	var set ExampleSet
 	set.Pos = d.exampleList()
 	set.Neg = d.exampleList()
@@ -95,17 +121,30 @@ func DecodeExampleSet(data []byte) (ExampleSet, error) {
 	return set, nil
 }
 
-// encoder appends values to a growing buffer. All writes are infallible.
+// encoder appends values to a growing buffer, interning every string into a
+// deterministic first-encounter-order table. All writes are infallible.
 type encoder struct {
-	buf []byte
+	buf   []byte
+	table map[string]uint32
+	order []string
 }
 
 func (e *encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
 func (e *encoder) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
 
+// strID interns a string into the table, assigning the next dense ID.
+func (e *encoder) strID(s string) uint32 {
+	if id, ok := e.table[s]; ok {
+		return id
+	}
+	id := uint32(len(e.order))
+	e.table[s] = id
+	e.order = append(e.order, s)
+	return id
+}
+
 func (e *encoder) str(s string) {
-	e.uvarint(uint64(len(s)))
-	e.buf = append(e.buf, s...)
+	e.uvarint(uint64(e.strID(s)))
 }
 
 func (e *encoder) boolean(v bool) {
@@ -116,9 +155,13 @@ func (e *encoder) boolean(v bool) {
 	}
 }
 
+// term packs the variable flag into the low bit of the name's table ID.
 func (e *encoder) term(t logic.Term) {
-	e.boolean(t.Var)
-	e.str(t.Name)
+	v := uint64(e.strID(t.Name)) << 1
+	if t.Var {
+		v |= 1
+	}
+	e.uvarint(v)
 }
 
 func (e *encoder) literal(l logic.Literal) {
@@ -200,10 +243,11 @@ const maxCount = 1 << 24
 // decoder reads the payload sequentially, latching the first error; every
 // read after an error is a cheap no-op, so call sites stay unconditional.
 type decoder struct {
-	data []byte
-	off  int
-	err  error
-	in   *interner
+	data  []byte
+	off   int
+	err   error
+	table []string
+	in    *interner
 }
 
 func (d *decoder) fail(format string, args ...any) {
@@ -248,18 +292,41 @@ func (d *decoder) count() int {
 	return int(v)
 }
 
-func (d *decoder) str() string {
+// stringTable reads the table every payload string references by ID.
+func (d *decoder) stringTable() {
 	n := d.count()
+	if d.err != nil || n == 0 {
+		return
+	}
+	d.table = make([]string, n)
+	for i := range d.table {
+		m := d.count()
+		if d.err != nil {
+			return
+		}
+		if d.off+m > len(d.data) {
+			d.fail("truncated string table entry at offset %d", d.off)
+			return
+		}
+		d.table[i] = string(d.data[d.off : d.off+m])
+		d.off += m
+	}
+}
+
+// tableString resolves a string-table ID.
+func (d *decoder) tableString(id uint64) string {
 	if d.err != nil {
 		return ""
 	}
-	if d.off+n > len(d.data) {
-		d.fail("truncated string at offset %d", d.off)
+	if id >= uint64(len(d.table)) {
+		d.fail("string id %d out of table range %d", id, len(d.table))
 		return ""
 	}
-	s := d.in.str(d.data[d.off : d.off+n])
-	d.off += n
-	return s
+	return d.table[id]
+}
+
+func (d *decoder) str() string {
+	return d.tableString(d.uvarint())
 }
 
 func (d *decoder) boolean() bool {
@@ -280,8 +347,8 @@ func (d *decoder) boolean() bool {
 }
 
 func (d *decoder) term() logic.Term {
-	v := d.boolean()
-	return logic.Term{Name: d.str(), Var: v}
+	v := d.uvarint()
+	return logic.Term{Name: d.tableString(v >> 1), Var: v&1 == 1}
 }
 
 func (d *decoder) literal() logic.Literal {
@@ -307,7 +374,7 @@ func (d *decoder) literal() logic.Literal {
 	if d.err != nil {
 		return l
 	}
-	// Intern on the literal's encoded bytes: the format is deterministic, so
+	// Intern on the literal's encoded bytes: table IDs are deterministic, so
 	// byte equality is structural equality, and repeated literals across the
 	// set share one Args/Cond backing.
 	return d.in.literal(d.data[start:d.off], l)
@@ -392,33 +459,18 @@ func (d *decoder) exampleList() []ExampleSnapshot {
 	return out
 }
 
-// interner dedupes decoded strings and literals for the lifetime of one
-// DecodeExampleSet call. Ground bottom clauses of different examples share
-// most of their literals (the same database tuples reached from different
-// seeds), and every Prepared of one example repeats the literals of its
-// expansions, so interning collapses the dominant share of decoded
-// allocations.
+// interner dedupes decoded literals for the lifetime of one DecodeExampleSet
+// call, keyed by their encoded bytes. Ground bottom clauses of different
+// examples share most of their literals (the same database tuples reached
+// from different seeds), and every Prepared of one example repeats the
+// literals of its expansions, so interning collapses the dominant share of
+// decoded allocations. Strings are already shared through the table.
 type interner struct {
-	strings  map[string]string
 	literals map[string]logic.Literal
 }
 
 func newInterner() *interner {
-	return &interner{
-		strings:  make(map[string]string),
-		literals: make(map[string]logic.Literal),
-	}
-}
-
-// str returns the canonical copy of the byte slice's string value. The map
-// lookup with a string(b) key does not allocate; only first occurrences do.
-func (in *interner) str(b []byte) string {
-	if s, ok := in.strings[string(b)]; ok {
-		return s
-	}
-	s := string(b)
-	in.strings[s] = s
-	return s
+	return &interner{literals: make(map[string]logic.Literal)}
 }
 
 // literal returns the canonical copy of a literal, keyed by its encoded

@@ -3,7 +3,10 @@ package persist_test
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
+	"hash/crc32"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"dlearn/internal/coverage"
@@ -210,5 +213,26 @@ func TestEmptySetRoundTrips(t *testing.T) {
 	}
 	if len(set.Pos) != 0 || len(set.Neg) != 0 {
 		t.Fatalf("empty set decoded as %d/%d examples", len(set.Pos), len(set.Neg))
+	}
+}
+
+// TestOldVersionSnapshotRejected pins the v1 → v2 upgrade path: a snapshot
+// carrying the previous format version with a valid checksum is rejected by
+// the version gate specifically — not the checksum — so callers fall back to
+// a fresh preparation and write the current format back.
+func TestOldVersionSnapshotRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := newEvaluator()
+	_, _, set := genSet(t, rng, e, 1, 1)
+	data := persist.EncodeExampleSet(set)
+	data = data[:len(data)-4]
+	data[6], data[7] = 0, 1 // version 1, big-endian
+	data = binary.BigEndian.AppendUint32(data, crc32.ChecksumIEEE(data))
+	_, err := persist.DecodeExampleSet(data)
+	if err == nil {
+		t.Fatal("version-1 snapshot went undetected")
+	}
+	if !strings.Contains(err.Error(), "version 1") {
+		t.Fatalf("want a version error naming version 1, got %v", err)
 	}
 }

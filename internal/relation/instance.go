@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -20,8 +21,24 @@ func NewTuple(rel string, values ...string) Tuple {
 }
 
 // Key returns a canonical identity for the tuple (relation plus values).
+// Each value is length-prefixed, so no choice of value bytes — including
+// separator-looking characters — can make two distinct tuples share a key.
 func (t Tuple) Key() string {
-	return t.Relation + "(" + strings.Join(t.Values, "\x1f") + ")"
+	n := len(t.Relation) + 2
+	for _, v := range t.Values {
+		n += len(v) + 6
+	}
+	var b strings.Builder
+	b.Grow(n)
+	b.WriteString(t.Relation)
+	b.WriteByte('(')
+	for _, v := range t.Values {
+		b.WriteString(strconv.Itoa(len(v)))
+		b.WriteByte(':')
+		b.WriteString(v)
+	}
+	b.WriteByte(')')
+	return b.String()
 }
 
 // Clone returns a deep copy of the tuple.
@@ -49,28 +66,48 @@ func (t Tuple) String() string {
 	return fmt.Sprintf("%s(%s)", t.Relation, strings.Join(t.Values, ", "))
 }
 
-// Instance is an in-memory database instance of a schema. It maintains a
-// per-relation, per-attribute hash index from value to tuple positions so
-// that the selections σ_{A∈M}(R) issued by bottom-clause construction
-// (Algorithm 2) are answered without scanning.
+// relData is the columnar storage of one relation: one []uint32 column per
+// attribute (interned value IDs, indexed by row position) plus a per-attribute
+// hash index from value ID to row positions.
+type relData struct {
+	rows  int
+	cols  [][]uint32
+	index []map[uint32][]int
+}
+
+// Instance is an in-memory database instance of a schema. Values are interned
+// to dense uint32 IDs through a per-instance Interner and tuples are stored
+// as columnar per-attribute ID arrays. A per-relation, per-attribute hash
+// index from value ID to row positions answers the selections σ_{A∈M}(R)
+// issued by bottom-clause construction (Algorithm 2) without scanning, and
+// duplicate probes and selections compare integers instead of hashing
+// strings. The public API stays string-based; ID-level accessors
+// (SelectPositions, RowIDs, TupleAt) expose the interned layer to hot paths.
 type Instance struct {
 	schema *Schema
-	tuples map[string][]Tuple
-	// index[rel][attr][value] -> positions into tuples[rel]
-	index map[string][]map[string][]int
+	intern *Interner
+	rels   map[string]*relData
 }
 
 // NewInstance creates an empty instance of the given schema.
 func NewInstance(schema *Schema) *Instance {
 	return &Instance{
 		schema: schema,
-		tuples: make(map[string][]Tuple),
-		index:  make(map[string][]map[string][]int),
+		intern: NewInterner(),
+		rels:   make(map[string]*relData),
 	}
 }
 
 // Schema returns the schema the instance conforms to.
 func (in *Instance) Schema() *Schema { return in.schema }
+
+// Interner returns the instance's value interner. Callers must not mutate it
+// concurrently with instance writes.
+func (in *Instance) Interner() *Interner { return in.intern }
+
+// DistinctValueCount returns the number of distinct values interned by the
+// instance across all relations and attributes.
+func (in *Instance) DistinctValueCount() int { return in.intern.Len() }
 
 // validateInsert checks that the relation exists and the value count matches
 // its arity.
@@ -85,18 +122,37 @@ func (in *Instance) validateInsert(rel string, values []string) (*Relation, erro
 	return r, nil
 }
 
+// data returns the columnar storage of rel, creating it on first insert.
+func (in *Instance) data(rel string, arity int) *relData {
+	rd := in.rels[rel]
+	if rd == nil {
+		rd = &relData{
+			cols:  make([][]uint32, arity),
+			index: make([]map[uint32][]int, arity),
+		}
+		for a := 0; a < arity; a++ {
+			rd.index[a] = make(map[uint32][]int)
+		}
+		in.rels[rel] = rd
+	}
+	return rd
+}
+
 // Insert adds a tuple to the named relation. It returns an error when the
 // relation is unknown or the arity does not match the schema.
 func (in *Instance) Insert(rel string, values ...string) error {
-	if _, err := in.validateInsert(rel, values); err != nil {
+	r, err := in.validateInsert(rel, values)
+	if err != nil {
 		return err
 	}
-	v := make([]string, len(values))
-	copy(v, values)
-	t := Tuple{Relation: rel, Values: v}
-	pos := len(in.tuples[rel])
-	in.tuples[rel] = append(in.tuples[rel], t)
-	in.indexTuple(rel, pos, t)
+	rd := in.data(rel, r.Arity())
+	pos := rd.rows
+	for a, v := range values {
+		id := in.intern.Intern(v)
+		rd.cols[a] = append(rd.cols[a], id)
+		rd.index[a][id] = append(rd.index[a][id], pos)
+	}
+	rd.rows++
 	return nil
 }
 
@@ -109,8 +165,9 @@ func (in *Instance) MustInsert(rel string, values ...string) {
 
 // InsertUnique inserts the tuple only if an identical tuple is not already
 // present. It reports whether an insertion happened. The duplicate check
-// probes the per-attribute hash index (smallest candidate bucket), so it
-// stays fast even after value rewrites and never scans the whole relation.
+// probes the per-attribute hash index (smallest candidate bucket) comparing
+// value IDs, so it stays fast even after value rewrites and never scans the
+// whole relation.
 func (in *Instance) InsertUnique(rel string, values ...string) (bool, error) {
 	// Validate before the duplicate probe: contains assumes the arity
 	// matches the index layout.
@@ -127,19 +184,25 @@ func (in *Instance) InsertUnique(rel string, values ...string) (bool, error) {
 }
 
 // contains reports whether an identical tuple exists, comparing only the
-// tuples in the smallest per-attribute index bucket of the probe values.
+// rows in the smallest per-attribute index bucket of the probe values.
 func (in *Instance) contains(rel string, values []string) bool {
-	if len(values) == 0 {
-		// A zero-arity relation holds at most the empty tuple.
-		return len(in.tuples[rel]) > 0
-	}
-	idx := in.index[rel]
-	if idx == nil {
+	rd := in.rels[rel]
+	if rd == nil {
 		return false
 	}
+	if len(values) == 0 {
+		// A zero-arity relation holds at most the empty tuple.
+		return rd.rows > 0
+	}
+	ids := make([]uint32, len(values))
 	var bucket []int
-	for a := range idx {
-		positions := idx[a][values[a]]
+	for a, v := range values {
+		id, ok := in.intern.Lookup(v)
+		if !ok {
+			return false
+		}
+		ids[a] = id
+		positions := rd.index[a][id]
 		if len(positions) == 0 {
 			return false
 		}
@@ -147,11 +210,10 @@ func (in *Instance) contains(rel string, values []string) bool {
 			bucket = positions
 		}
 	}
-	ts := in.tuples[rel]
 outer:
 	for _, p := range bucket {
-		for i, v := range ts[p].Values {
-			if v != values[i] {
+		for a, id := range ids {
+			if rd.cols[a][p] != id {
 				continue outer
 			}
 		}
@@ -160,50 +222,85 @@ outer:
 	return false
 }
 
-func (in *Instance) indexTuple(rel string, pos int, t Tuple) {
-	idx := in.index[rel]
-	if idx == nil {
-		idx = make([]map[string][]int, in.schema.Relation(rel).Arity())
-		for i := range idx {
-			idx[i] = make(map[string][]int)
-		}
-		in.index[rel] = idx
+// TupleAt materializes the tuple at a row position of a relation. The
+// returned tuple owns its Values slice.
+func (in *Instance) TupleAt(rel string, pos int) Tuple {
+	rd := in.rels[rel]
+	values := make([]string, len(rd.cols))
+	for a := range rd.cols {
+		values[a] = in.intern.Value(rd.cols[a][pos])
 	}
-	for i, v := range t.Values {
-		idx[i][v] = append(idx[i][v], pos)
-	}
+	return Tuple{Relation: rel, Values: values}
 }
 
-// Tuples returns the tuples of a relation. The returned slice is owned by
-// the instance and must not be modified.
-func (in *Instance) Tuples(rel string) []Tuple { return in.tuples[rel] }
+// RowIDs appends the interned value IDs of the row at pos to dst and returns
+// the extended slice. It is the allocation-free way to key or compare rows.
+func (in *Instance) RowIDs(dst []uint32, rel string, pos int) []uint32 {
+	rd := in.rels[rel]
+	for a := range rd.cols {
+		dst = append(dst, rd.cols[a][pos])
+	}
+	return dst
+}
+
+// Tuples returns the tuples of a relation, materialized from the columnar
+// storage in row order. The returned slice is a snapshot: it does not observe
+// later mutations of the instance.
+func (in *Instance) Tuples(rel string) []Tuple {
+	rd := in.rels[rel]
+	if rd == nil || rd.rows == 0 {
+		return nil
+	}
+	out := make([]Tuple, rd.rows)
+	for p := 0; p < rd.rows; p++ {
+		out[p] = in.TupleAt(rel, p)
+	}
+	return out
+}
 
 // Count returns the number of tuples in a relation.
-func (in *Instance) Count(rel string) int { return len(in.tuples[rel]) }
+func (in *Instance) Count(rel string) int {
+	rd := in.rels[rel]
+	if rd == nil {
+		return 0
+	}
+	return rd.rows
+}
 
 // TotalTuples returns the number of tuples across all relations.
 func (in *Instance) TotalTuples() int {
 	total := 0
-	for _, ts := range in.tuples {
-		total += len(ts)
+	for _, rd := range in.rels {
+		total += rd.rows
 	}
 	return total
+}
+
+// SelectPositions returns the row positions of rel whose attribute at
+// position attr equals value, using the ID-keyed hash index. The returned
+// slice is owned by the instance and must not be modified.
+func (in *Instance) SelectPositions(rel string, attr int, value string) []int {
+	rd := in.rels[rel]
+	if rd == nil || attr < 0 || attr >= len(rd.index) {
+		return nil
+	}
+	id, ok := in.intern.Lookup(value)
+	if !ok {
+		return nil
+	}
+	return rd.index[attr][id]
 }
 
 // Select returns the tuples of rel whose attribute at position attr equals
 // value, using the hash index.
 func (in *Instance) Select(rel string, attr int, value string) []Tuple {
-	idx := in.index[rel]
-	if idx == nil || attr < 0 || attr >= len(idx) {
-		return nil
-	}
-	positions := idx[attr][value]
+	positions := in.SelectPositions(rel, attr, value)
 	if len(positions) == 0 {
 		return nil
 	}
 	out := make([]Tuple, 0, len(positions))
 	for _, p := range positions {
-		out = append(out, in.tuples[rel][p])
+		out = append(out, in.TupleAt(rel, p))
 	}
 	return out
 }
@@ -215,20 +312,24 @@ func (in *Instance) SelectAny(rel string, value string, domains map[string]bool)
 	if r == nil {
 		return nil
 	}
-	seen := make(map[int]bool)
-	var out []Tuple
-	idx := in.index[rel]
-	if idx == nil {
+	rd := in.rels[rel]
+	if rd == nil {
 		return nil
 	}
+	id, ok := in.intern.Lookup(value)
+	if !ok {
+		return nil
+	}
+	seen := make(map[int]bool)
+	var out []Tuple
 	for a := 0; a < r.Arity(); a++ {
 		if domains != nil && !domains[r.Attrs[a].Domain] {
 			continue
 		}
-		for _, p := range idx[a][value] {
+		for _, p := range rd.index[a][id] {
 			if !seen[p] {
 				seen[p] = true
-				out = append(out, in.tuples[rel][p])
+				out = append(out, in.TupleAt(rel, p))
 			}
 		}
 	}
@@ -237,70 +338,90 @@ func (in *Instance) SelectAny(rel string, value string, domains map[string]bool)
 
 // DistinctValues returns the distinct values of an attribute, sorted.
 func (in *Instance) DistinctValues(rel string, attr int) []string {
-	idx := in.index[rel]
-	if idx == nil || attr < 0 || attr >= len(idx) {
+	rd := in.rels[rel]
+	if rd == nil || attr < 0 || attr >= len(rd.index) {
 		return nil
 	}
-	out := make([]string, 0, len(idx[attr]))
-	for v := range idx[attr] {
-		out = append(out, v)
+	out := make([]string, 0, len(rd.index[attr]))
+	for id := range rd.index[attr] {
+		out = append(out, in.intern.Value(id))
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Clone returns a deep copy of the instance (tuples and indexes). Repairs and
-// baselines that modify data operate on clones so the original dirty
-// instance is preserved.
+// Clone returns a deep copy of the instance (interner, columns and indexes).
+// Repairs and baselines that modify data operate on clones so the original
+// dirty instance is preserved.
 func (in *Instance) Clone() *Instance {
-	out := NewInstance(in.schema)
-	for _, rel := range in.schema.Names() {
-		for _, t := range in.tuples[rel] {
-			out.MustInsert(rel, t.Values...)
+	out := &Instance{
+		schema: in.schema,
+		intern: in.intern.Clone(),
+		rels:   make(map[string]*relData, len(in.rels)),
+	}
+	for rel, rd := range in.rels {
+		nrd := &relData{
+			rows:  rd.rows,
+			cols:  make([][]uint32, len(rd.cols)),
+			index: make([]map[uint32][]int, len(rd.index)),
 		}
+		for a := range rd.cols {
+			nrd.cols[a] = append([]uint32(nil), rd.cols[a]...)
+			nrd.index[a] = make(map[uint32][]int, len(rd.index[a]))
+			for id, positions := range rd.index[a] {
+				nrd.index[a][id] = append([]int(nil), positions...)
+			}
+		}
+		out.rels[rel] = nrd
 	}
 	return out
 }
 
 // ReplaceValue rewrites every occurrence of old with new in the given
-// attribute of the given relation, rebuilding the affected index entries. It
+// attribute of the given relation, rebuilding the affected index entry. It
 // returns the number of tuple fields rewritten. It is used when enforcing
 // MDs and repairing CFD violations on materialized instances.
 func (in *Instance) ReplaceValue(rel string, attr int, old, new string) int {
-	idx := in.index[rel]
-	if idx == nil || attr < 0 || attr >= len(idx) || old == new {
+	rd := in.rels[rel]
+	if rd == nil || attr < 0 || attr >= len(rd.index) || old == new {
 		return 0
 	}
-	positions := idx[attr][old]
+	oldID, ok := in.intern.Lookup(old)
+	if !ok {
+		return 0
+	}
+	positions := rd.index[attr][oldID]
 	if len(positions) == 0 {
 		return 0
 	}
+	newID := in.intern.Intern(new)
 	for _, p := range positions {
-		in.tuples[rel][p].Values[attr] = new
+		rd.cols[attr][p] = newID
 	}
-	delete(idx[attr], old)
-	idx[attr][new] = append(idx[attr][new], positions...)
+	delete(rd.index[attr], oldID)
+	rd.index[attr][newID] = append(rd.index[attr][newID], positions...)
 	return len(positions)
 }
 
 // SetValueAt rewrites a single tuple field, keeping the index consistent.
-// The tuple is identified by its position in the relation's tuple slice.
+// The tuple is identified by its position in the relation's row order.
 func (in *Instance) SetValueAt(rel string, pos, attr int, value string) error {
-	ts := in.tuples[rel]
-	if pos < 0 || pos >= len(ts) {
+	rd := in.rels[rel]
+	if rd == nil || pos < 0 || pos >= rd.rows {
 		return fmt.Errorf("relation: SetValueAt %s: position %d out of range", rel, pos)
 	}
 	r := in.schema.Relation(rel)
 	if attr < 0 || attr >= r.Arity() {
 		return fmt.Errorf("relation: SetValueAt %s: attribute %d out of range", rel, attr)
 	}
-	old := ts[pos].Values[attr]
-	if old == value {
+	oldID := rd.cols[attr][pos]
+	newID := in.intern.Intern(value)
+	if oldID == newID {
 		return nil
 	}
-	ts[pos].Values[attr] = value
-	// Remove pos from the old index entry.
-	entry := in.index[rel][attr][old]
+	rd.cols[attr][pos] = newID
+	// Remove pos from the old index entry, preserving the order of the rest.
+	entry := rd.index[attr][oldID]
 	for i, p := range entry {
 		if p == pos {
 			entry = append(entry[:i], entry[i+1:]...)
@@ -308,11 +429,11 @@ func (in *Instance) SetValueAt(rel string, pos, attr int, value string) error {
 		}
 	}
 	if len(entry) == 0 {
-		delete(in.index[rel][attr], old)
+		delete(rd.index[attr], oldID)
 	} else {
-		in.index[rel][attr][old] = entry
+		rd.index[attr][oldID] = entry
 	}
-	in.index[rel][attr][value] = append(in.index[rel][attr][value], pos)
+	rd.index[attr][newID] = append(rd.index[attr][newID], pos)
 	return nil
 }
 
@@ -325,7 +446,7 @@ func (in *Instance) Stats() (relations, tuples int) {
 func (in *Instance) String() string {
 	var b strings.Builder
 	for _, rel := range in.schema.Names() {
-		fmt.Fprintf(&b, "%s: %d tuples\n", rel, len(in.tuples[rel]))
+		fmt.Fprintf(&b, "%s: %d tuples\n", rel, in.Count(rel))
 	}
 	return b.String()
 }

@@ -1,0 +1,56 @@
+package relation
+
+// Interner maps string values to dense uint32 IDs and back. IDs are assigned
+// in first-intern order starting at 0, so an instance built deterministically
+// assigns deterministic IDs. The zero value is not usable; call NewInterner.
+//
+// An Interner is not safe for concurrent mutation. Instances follow a
+// single-writer model: once an instance stops being mutated (e.g. after
+// preparation) it may be read from any number of goroutines.
+type Interner struct {
+	ids  map[string]uint32
+	vals []string
+}
+
+// NewInterner creates an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]uint32)}
+}
+
+// Intern returns the ID of v, assigning the next dense ID if v is new.
+func (in *Interner) Intern(v string) uint32 {
+	if id, ok := in.ids[v]; ok {
+		return id
+	}
+	id := uint32(len(in.vals))
+	in.ids[v] = id
+	in.vals = append(in.vals, v)
+	return id
+}
+
+// Lookup returns the ID of v without interning it, and whether v is known.
+func (in *Interner) Lookup(v string) (uint32, bool) {
+	id, ok := in.ids[v]
+	return id, ok
+}
+
+// Value returns the string for an ID. It panics when the ID was never
+// assigned, mirroring slice bounds checks.
+func (in *Interner) Value(id uint32) string { return in.vals[id] }
+
+// Len returns the number of distinct interned values.
+func (in *Interner) Len() int { return len(in.vals) }
+
+// Clone returns a deep copy of the interner. Cloned instances share no
+// mutable state, so IDs keep their meaning independently on both sides.
+func (in *Interner) Clone() *Interner {
+	out := &Interner{
+		ids:  make(map[string]uint32, len(in.ids)),
+		vals: make([]string, len(in.vals)),
+	}
+	for v, id := range in.ids {
+		out.ids[v] = id
+	}
+	copy(out.vals, in.vals)
+	return out
+}

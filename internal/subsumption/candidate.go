@@ -37,11 +37,11 @@ type CompiledCandidate struct {
 }
 
 // candLit is one mappable literal of the candidate: its body index, its
-// predicate key (used to look up images in a Prepared) and compiled
-// arguments.
+// interned predicate-key ID (used to look up images in a Prepared) and
+// compiled arguments.
 type candLit struct {
 	cIndex int
-	key    string
+	key    uint32
 	args   []compiledTerm
 }
 
@@ -70,7 +70,7 @@ func CompileCandidate(c logic.Clause) *CompiledCandidate {
 	for i, l := range c.Body {
 		switch {
 		case l.IsRelation() || l.IsRepair():
-			cl := candLit{cIndex: i, key: predKey(l)}
+			cl := candLit{cIndex: i, key: predID(l)}
 			for _, a := range l.Args {
 				cl.args = append(cl.args, termOf(a))
 			}

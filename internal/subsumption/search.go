@@ -63,7 +63,7 @@ const ctxPollInterval = 256
 // goroutines may probe the same Prepared concurrently.
 type Prepared struct {
 	d         logic.Clause
-	byPred    map[string][]int
+	byPred    map[uint32][]int
 	eq        eqClosure
 	simPairs  map[[2]logic.Term]bool
 	connected map[int][]int
@@ -78,7 +78,7 @@ func (p *Prepared) Clause() logic.Clause { return p.d }
 func (ch *Checker) Prepare(d logic.Clause) *Prepared {
 	p := &Prepared{
 		d:         d,
-		byPred:    make(map[string][]int),
+		byPred:    make(map[uint32][]int),
 		simPairs:  make(map[[2]logic.Term]bool),
 		connected: make(map[int][]int),
 		maxNodes:  ch.Opts.maxNodes(),
@@ -86,7 +86,8 @@ func (ch *Checker) Prepare(d logic.Clause) *Prepared {
 	eq := newUnionFind()
 	for i, l := range d.Body {
 		if l.IsRelation() || l.IsRepair() {
-			p.byPred[predKey(l)] = append(p.byPred[predKey(l)], i)
+			k := predID(l)
+			p.byPred[k] = append(p.byPred[k], i)
 		}
 		if l.IsRepair() {
 			p.hasRepair = true

@@ -95,7 +95,7 @@ func RestorePrepared(s PreparedSnapshot) *Prepared {
 	}
 	p := &Prepared{
 		d:         s.Clause,
-		byPred:    make(map[string][]int),
+		byPred:    make(map[uint32][]int),
 		eq:        eqClosure{root: make(map[logic.Term]logic.Term, len(s.EqRoots))},
 		simPairs:  make(map[[2]logic.Term]bool, len(s.SimPairs)),
 		connected: make(map[int][]int, len(s.Connected)),
@@ -103,7 +103,8 @@ func RestorePrepared(s PreparedSnapshot) *Prepared {
 	}
 	for i, l := range s.Clause.Body {
 		if l.IsRelation() || l.IsRepair() {
-			p.byPred[predKey(l)] = append(p.byPred[predKey(l)], i)
+			k := predID(l)
+			p.byPred[k] = append(p.byPred[k], i)
 		}
 		if l.IsRepair() {
 			p.hasRepair = true
