@@ -52,6 +52,8 @@ func main() {
 		tenant   = flag.String("tenant", "", "tenant name sent with remote jobs (X-Tenant header)")
 		timeout  = flag.Duration("timeout", 0, "remote job deadline (0 = server default)")
 		noCache  = flag.Bool("no-cache", false, "remote only: bypass the server's result cache and force a fresh run")
+		retries  = flag.Int("retries", 4, "remote only: retry budget for 429/503 rejections and dropped event streams (0 disables)")
+		retryBas = flag.Duration("retry-base", 200*time.Millisecond, "remote only: first retry delay, doubling per attempt (capped, jittered)")
 	)
 	flag.Parse()
 
@@ -74,8 +76,9 @@ func main() {
 	if *remote != "" {
 		opts, err := remoteOptions(*system, *km, *iters, *sample, *threads, *seed, *timeout)
 		opts.NoCache = *noCache
+		backoff := server.Backoff{Retries: *retries, Base: *retryBas, Seed: *seed}
 		if err == nil {
-			err = learnRemote(ctx, *remote, *tenant, problem, opts, *progress)
+			err = learnRemote(ctx, *remote, *tenant, problem, opts, backoff, *progress)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dlearn-learn: %v\n", err)
@@ -143,9 +146,11 @@ func remoteOptions(system string, km, iters, sample, threads int, seed int64, ti
 
 // learnRemote submits the problem to a dlearn-serve instance and follows its
 // event stream; with progress enabled the streamed observer events feed the
-// same renderers as a local run.
-func learnRemote(ctx context.Context, baseURL, tenant string, p *dlearn.Problem, opts wire.Options, progress bool) error {
-	client := &server.Client{BaseURL: baseURL, Tenant: tenant}
+// same renderers as a local run. The backoff policy retries transient
+// admission rejections (429/503, honoring Retry-After) and reconnects a
+// dropped event stream with Last-Event-ID, resuming where it left off.
+func learnRemote(ctx context.Context, baseURL, tenant string, p *dlearn.Problem, opts wire.Options, backoff server.Backoff, progress bool) error {
+	client := &server.Client{BaseURL: baseURL, Tenant: tenant, Retry: backoff}
 	var onEvent func(dlearn.Event)
 	if progress {
 		local, snap := progressObserver(), snapshotObserver()

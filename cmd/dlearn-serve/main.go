@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"dlearn"
+	"dlearn/internal/fault"
 	"dlearn/internal/server"
 )
 
@@ -46,8 +47,20 @@ func main() {
 		jobDir        = flag.String("job-dir", "", "job journal directory: accepted jobs and their outcomes survive restarts (empty disables)")
 		resultCacheMB = flag.Int64("result-cache-max-bytes", 0, "result cache byte cap (0 = 64 MiB default; <0 disables the cache)")
 		threads       = flag.Int("threads", 0, "base engine threads per job (0 = engine default; jobs may override)")
+		maxEventBytes = flag.Int("journal-max-event-bytes", 0, "journalled event log byte cap per job, oldest events dropped behind a log_truncated marker (0 = 1 MiB; <0 unbounded)")
+		sseTimeout    = flag.Duration("sse-write-timeout", 0, "per-write deadline and slow-subscriber grace on event streams (0 = 10s)")
+		faultSchedule = flag.String("fault-schedule", "", "fault-injection schedule for chaos testing, e.g. 'journal.finish:hit=1:error=boom' (empty disables; test hook)")
+		faultSeed     = flag.Int64("fault-seed", 1, "seed for probabilistic fault-schedule rules")
 	)
 	flag.Parse()
+
+	faults, err := fault.Parse(*faultSchedule, *faultSeed)
+	if err != nil {
+		log.Fatalf("dlearn-serve: %v", err)
+	}
+	if faults != nil {
+		log.Printf("dlearn-serve: FAULT INJECTION ACTIVE (%s) — not for production", faults)
+	}
 
 	cfg := server.Config{
 		MaxQueued:           *maxQueued,
@@ -57,6 +70,9 @@ func main() {
 		MaxTimeout:          *maxTimeout,
 		JobDir:              *jobDir,
 		ResultCacheMaxBytes: *resultCacheMB,
+		MaxEventLogBytes:    *maxEventBytes,
+		SSEWriteTimeout:     *sseTimeout,
+		Faults:              faults,
 	}
 	if *threads > 0 {
 		cfg.EngineOptions = append(cfg.EngineOptions, dlearn.WithThreads(*threads))
@@ -66,6 +82,7 @@ func main() {
 		if *snapMaxBytes > 0 {
 			store.SetMaxBytes(*snapMaxBytes)
 		}
+		store.SetFaults(faults)
 		cfg.Store = store
 	}
 
@@ -108,6 +125,9 @@ func main() {
 		log.Printf("dlearn-serve: drain incomplete, jobs cancelled: %v", err)
 	}
 	httpSrv.Shutdown(context.Background())
+	if faults != nil {
+		log.Printf("dlearn-serve: faults fired: %v", faults.Fired())
+	}
 	st := srv.Stats()
 	fmt.Fprintf(os.Stderr, "dlearn-serve: served %d jobs (%d completed, %d failed, %d cancelled)\n",
 		st.Submitted, st.Completed, st.Failed, st.Cancelled)

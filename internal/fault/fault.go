@@ -1,0 +1,328 @@
+// Package fault is a deterministic fault-injection layer for the I/O seams
+// of the serving stack: journal writes, snapshot persistence, SSE delivery
+// and the job worker. Production code paths carry a *Injector that is nil
+// unless a test (or the -fault-schedule flag on dlearn-serve) installs a
+// schedule; every method no-ops on a nil receiver, so an injection point in
+// the hot path compiles to a single nil check (see BenchmarkNilInjector —
+// sub-nanosecond, fully inlined).
+//
+// A schedule is a set of rules keyed by named injection points. Rules fire
+// either at exact hit counts of a point ("the 3rd journal write fails"), on
+// a period ("every snapshot save fails"), or probabilistically from a seeded
+// RNG. Hit-count and period rules are fully deterministic; probabilistic
+// rules are deterministic given the seed and the order points are hit, which
+// single-threaded seams (the journal, one worker) guarantee and concurrent
+// seams do not — the chaos suite pins its invariants with hit-count rules
+// and uses seeded probability only for dirty-environment smoke.
+//
+// The schedule grammar, used by tests and dlearn-serve's -fault-schedule
+// test hook, is a semicolon-separated list of rules:
+//
+//	point:key=value[:key=value...][;point2:...]
+//
+// with one trigger key — hit=N[,M...] (exact 1-based hit numbers), every=N
+// (each Nth hit), or prob=P (per-hit probability) — and one behavior key:
+// error=MSG (the seam fails with MSG), torn=MSG (the seam tears the write —
+// a truncated payload reaches the final file — then fails with MSG),
+// panic=MSG (the seam panics), or delay=DUR (the seam sleeps DUR, a Go
+// duration such as 50ms). A torn rule may add keep=N to control how many
+// payload bytes survive (default: half). Example:
+//
+//	journal.finish:hit=1:torn=crash at fsync;worker.observe:hit=3:panic=boom
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Behavior kinds a rule can inject.
+const (
+	// KindError makes the seam return an error.
+	KindError = "error"
+	// KindTorn makes a write seam commit a truncated payload and then fail,
+	// simulating a torn write that reached the disk before a crash.
+	KindTorn = "torn"
+	// KindPanic makes the seam panic.
+	KindPanic = "panic"
+	// KindDelay makes the seam sleep, simulating a slow peer.
+	KindDelay = "delay"
+)
+
+// Rule schedules one fault at a named injection point. Exactly one trigger
+// (Hits, Every or Prob) and one behavior (Kind plus its parameters) apply.
+type Rule struct {
+	// Point is the injection point name the rule is keyed by.
+	Point string
+	// Hits lists exact 1-based hit counts of the point that fire.
+	Hits []int
+	// Every fires on each Nth hit when positive (and Hits is empty).
+	Every int
+	// Prob fires each hit with this probability from the injector's seeded
+	// RNG when positive (and Hits is empty, Every zero).
+	Prob float64
+	// Kind is one of the Kind* constants; empty means KindError.
+	Kind string
+	// Msg is the error or panic message.
+	Msg string
+	// Delay is how long a KindDelay rule sleeps.
+	Delay time.Duration
+	// Keep is how many payload bytes a KindTorn rule lets through; zero
+	// means half the payload.
+	Keep int
+}
+
+func (r *Rule) matches(hit int, rng *rand.Rand) bool {
+	if len(r.Hits) > 0 {
+		for _, h := range r.Hits {
+			if h == hit {
+				return true
+			}
+		}
+		return false
+	}
+	if r.Every > 0 {
+		return hit%r.Every == 0
+	}
+	if r.Prob > 0 {
+		return rng.Float64() < r.Prob
+	}
+	return false
+}
+
+// Fault is one scheduled fault returned by Fire: the matched rule's
+// behavior, ready for the seam to apply.
+type Fault struct {
+	// Point is the injection point that fired.
+	Point string
+	// Kind is the behavior to apply (one of the Kind* constants).
+	Kind string
+	// Msg is the error or panic message.
+	Msg string
+	// Delay is the sleep for KindDelay faults.
+	Delay time.Duration
+	// Keep is the surviving byte count for KindTorn faults (zero = half).
+	Keep int
+}
+
+// Err renders the fault as an error.
+func (f *Fault) Err() error {
+	if f.Msg != "" {
+		return fmt.Errorf("fault: %s: %s", f.Point, f.Msg)
+	}
+	return fmt.Errorf("fault: injected at %s", f.Point)
+}
+
+// Torn returns the prefix of data a torn write lets through.
+func (f *Fault) Torn(data []byte) []byte {
+	keep := f.Keep
+	if keep <= 0 {
+		keep = len(data) / 2
+	}
+	if keep > len(data) {
+		keep = len(data)
+	}
+	return data[:keep]
+}
+
+// Injector decides, per hit of each named injection point, whether a
+// scheduled fault fires. The zero of usefulness is nil: every method on a
+// nil *Injector is a no-op, which is how production runs pay nothing.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[string][]*Rule
+	hits  map[string]int
+	fired map[string]int
+}
+
+// New builds an injector over the rules with a seeded RNG for probabilistic
+// triggers. Rules for unknown points are fine — they simply never fire.
+func New(seed int64, rules ...Rule) *Injector {
+	if seed == 0 {
+		seed = 1
+	}
+	inj := &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: make(map[string][]*Rule),
+		hits:  make(map[string]int),
+		fired: make(map[string]int),
+	}
+	for i := range rules {
+		r := rules[i]
+		if r.Kind == "" {
+			r.Kind = KindError
+		}
+		inj.rules[r.Point] = append(inj.rules[r.Point], &r)
+	}
+	return inj
+}
+
+// Parse builds an injector from the schedule grammar described in the
+// package comment. An empty spec returns a nil injector — faults disabled.
+func Parse(spec string, seed int64) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("fault: rule %q needs point:key=value", part)
+		}
+		r := Rule{Point: strings.TrimSpace(fields[0])}
+		if r.Point == "" {
+			return nil, fmt.Errorf("fault: rule %q has an empty point", part)
+		}
+		for _, kv := range fields[1:] {
+			key, value, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: rule %q: %q is not key=value", part, kv)
+			}
+			var err error
+			switch key {
+			case "hit":
+				for _, h := range strings.Split(value, ",") {
+					n, herr := strconv.Atoi(strings.TrimSpace(h))
+					if herr != nil || n < 1 {
+						return nil, fmt.Errorf("fault: rule %q: bad hit %q", part, h)
+					}
+					r.Hits = append(r.Hits, n)
+				}
+			case "every":
+				if r.Every, err = strconv.Atoi(value); err != nil || r.Every < 1 {
+					return nil, fmt.Errorf("fault: rule %q: bad every %q", part, value)
+				}
+			case "prob":
+				if r.Prob, err = strconv.ParseFloat(value, 64); err != nil || r.Prob <= 0 || r.Prob > 1 {
+					return nil, fmt.Errorf("fault: rule %q: bad prob %q", part, value)
+				}
+			case "error", "torn", "panic":
+				if r.Kind != "" {
+					return nil, fmt.Errorf("fault: rule %q sets two behaviors", part)
+				}
+				r.Kind, r.Msg = key, value
+			case "delay":
+				if r.Kind != "" {
+					return nil, fmt.Errorf("fault: rule %q sets two behaviors", part)
+				}
+				r.Kind = KindDelay
+				if r.Delay, err = time.ParseDuration(value); err != nil || r.Delay < 0 {
+					return nil, fmt.Errorf("fault: rule %q: bad delay %q", part, value)
+				}
+			case "keep":
+				if r.Keep, err = strconv.Atoi(value); err != nil || r.Keep < 0 {
+					return nil, fmt.Errorf("fault: rule %q: bad keep %q", part, value)
+				}
+			default:
+				return nil, fmt.Errorf("fault: rule %q: unknown key %q", part, key)
+			}
+		}
+		if len(r.Hits) == 0 && r.Every == 0 && r.Prob == 0 {
+			return nil, fmt.Errorf("fault: rule %q needs a trigger (hit=, every= or prob=)", part)
+		}
+		if r.Kind == "" {
+			return nil, errors.New("fault: rule " + strconv.Quote(part) + " needs a behavior (error=, torn=, panic= or delay=)")
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, nil
+	}
+	return New(seed, rules...), nil
+}
+
+// Fire records one hit of the point and returns the fault scheduled for it,
+// or nil. Seams that only understand a subset of behaviors should use the
+// typed helpers (Err, Panic, Delay) instead; write seams handle KindError
+// and KindTorn from Fire directly.
+func (i *Injector) Fire(point string) *Fault {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.hits[point]++
+	hit := i.hits[point]
+	for _, r := range i.rules[point] {
+		if r.matches(hit, i.rng) {
+			i.fired[point]++
+			return &Fault{Point: point, Kind: r.Kind, Msg: r.Msg, Delay: r.Delay, Keep: r.Keep}
+		}
+	}
+	return nil
+}
+
+// Err records a hit and returns the scheduled error, or nil. Only KindError
+// faults surface here; other kinds scheduled on the same point are ignored
+// by this seam.
+func (i *Injector) Err(point string) error {
+	if i == nil {
+		return nil
+	}
+	if f := i.Fire(point); f != nil && f.Kind == KindError {
+		return f.Err()
+	}
+	return nil
+}
+
+// Panic records a hit and panics when a KindPanic fault is scheduled for it.
+func (i *Injector) Panic(point string) {
+	if i == nil {
+		return
+	}
+	if f := i.Fire(point); f != nil && f.Kind == KindPanic {
+		panic("fault: " + point + ": " + f.Msg)
+	}
+}
+
+// Delay records a hit and sleeps when a KindDelay fault is scheduled for it.
+func (i *Injector) Delay(point string) {
+	if i == nil {
+		return
+	}
+	if f := i.Fire(point); f != nil && f.Kind == KindDelay {
+		time.Sleep(f.Delay)
+	}
+}
+
+// Fired reports how many times each point's rules fired, for tests and the
+// serve log.
+func (i *Injector) Fired() map[string]int {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make(map[string]int, len(i.fired))
+	for p, n := range i.fired {
+		out[p] = n
+	}
+	return out
+}
+
+// String renders the schedule's points for logging.
+func (i *Injector) String() string {
+	if i == nil {
+		return "<none>"
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	points := make([]string, 0, len(i.rules))
+	for p, rs := range i.rules {
+		points = append(points, fmt.Sprintf("%s(%d)", p, len(rs)))
+	}
+	sort.Strings(points)
+	return strings.Join(points, " ")
+}

@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if f := inj.Fire("p"); f != nil {
+		t.Fatalf("nil injector fired %+v", f)
+	}
+	if err := inj.Err("p"); err != nil {
+		t.Fatalf("nil injector errored: %v", err)
+	}
+	inj.Panic("p") // must not panic
+	inj.Delay("p") // must not sleep
+	if m := inj.Fired(); m != nil {
+		t.Fatalf("nil injector reports fires: %v", m)
+	}
+	if s := inj.String(); s != "<none>" {
+		t.Fatalf("nil injector String = %q", s)
+	}
+}
+
+func TestHitRulesFireExactly(t *testing.T) {
+	inj := New(1, Rule{Point: "w", Hits: []int{2, 4}, Kind: KindError, Msg: "boom"})
+	var fired []int
+	for hit := 1; hit <= 5; hit++ {
+		if err := inj.Err("w"); err != nil {
+			fired = append(fired, hit)
+			if !strings.Contains(err.Error(), "boom") {
+				t.Errorf("hit %d error = %v, want it to carry the message", hit, err)
+			}
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 4 {
+		t.Fatalf("fired on hits %v, want [2 4]", fired)
+	}
+	if n := inj.Fired()["w"]; n != 2 {
+		t.Errorf("Fired()[w] = %d, want 2", n)
+	}
+}
+
+func TestEveryRuleFiresPeriodically(t *testing.T) {
+	inj := New(1, Rule{Point: "w", Every: 3, Kind: KindError, Msg: "x"})
+	var fired []int
+	for hit := 1; hit <= 9; hit++ {
+		if inj.Err("w") != nil {
+			fired = append(fired, hit)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestProbRuleDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []int {
+		inj := New(seed, Rule{Point: "w", Prob: 0.5, Kind: KindError, Msg: "x"})
+		var fired []int
+		for hit := 1; hit <= 64; hit++ {
+			if inj.Err("w") != nil {
+				fired = append(fired, hit)
+			}
+		}
+		return fired
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different fire counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different fires: %v vs %v", a, b)
+		}
+	}
+	if len(a) == 0 || len(a) == 64 {
+		t.Fatalf("prob=0.5 fired %d/64 times; rule is not probabilistic", len(a))
+	}
+}
+
+func TestTornKeepsPrefix(t *testing.T) {
+	inj := New(1, Rule{Point: "w", Hits: []int{1}, Kind: KindTorn, Msg: "crash", Keep: 3})
+	f := inj.Fire("w")
+	if f == nil || f.Kind != KindTorn {
+		t.Fatalf("Fire = %+v, want a torn fault", f)
+	}
+	if got := string(f.Torn([]byte("abcdef"))); got != "abc" {
+		t.Errorf("Torn = %q, want %q", got, "abc")
+	}
+	half := &Fault{Kind: KindTorn}
+	if got := string(half.Torn([]byte("abcdef"))); got != "abc" {
+		t.Errorf("default Torn = %q, want half the payload", got)
+	}
+	long := &Fault{Kind: KindTorn, Keep: 100}
+	if got := string(long.Torn([]byte("ab"))); got != "ab" {
+		t.Errorf("oversized keep = %q, want the full payload", got)
+	}
+}
+
+func TestPanicAndDelayHelpers(t *testing.T) {
+	inj := New(1,
+		Rule{Point: "p", Hits: []int{1}, Kind: KindPanic, Msg: "kaboom"},
+		Rule{Point: "d", Hits: []int{1}, Kind: KindDelay, Delay: 10 * time.Millisecond},
+	)
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil || !strings.Contains(r.(string), "kaboom") {
+				t.Errorf("recover = %v, want the injected panic", r)
+			}
+		}()
+		inj.Panic("p")
+	}()
+	start := time.Now()
+	inj.Delay("d")
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("Delay slept %s, want at least 10ms", d)
+	}
+	// Mismatched kinds at a point are invisible to the typed helpers.
+	if err := inj.Err("p"); err != nil {
+		t.Errorf("Err on a panic-only point = %v, want nil", err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	inj, err := Parse("journal.finish:hit=1,3:torn=crash:keep=10; worker.observe:every=2:panic=boom ;sse.write:prob=0.25:delay=50ms", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj == nil {
+		t.Fatal("Parse returned a nil injector for a non-empty spec")
+	}
+	f := inj.Fire("journal.finish")
+	if f == nil || f.Kind != KindTorn || f.Msg != "crash" || f.Keep != 10 {
+		t.Errorf("journal.finish hit 1 = %+v, want torn/crash/keep 10", f)
+	}
+	if f := inj.Fire("journal.finish"); f != nil {
+		t.Errorf("journal.finish hit 2 fired %+v, want nil", f)
+	}
+	if f := inj.Fire("journal.finish"); f == nil {
+		t.Error("journal.finish hit 3 did not fire")
+	}
+	inj.Fire("worker.observe")
+	if f := inj.Fire("worker.observe"); f == nil || f.Kind != KindPanic || f.Msg != "boom" {
+		t.Errorf("worker.observe hit 2 = %+v, want panic/boom", f)
+	}
+}
+
+func TestParseEmptyAndInvalid(t *testing.T) {
+	if inj, err := Parse("   ", 1); err != nil || inj != nil {
+		t.Errorf("blank spec = (%v, %v), want (nil, nil)", inj, err)
+	}
+	for _, spec := range []string{
+		"pointonly",
+		"p:hit=0:error=x",
+		"p:prob=2:error=x",
+		"p:hit=1",                 // no behavior
+		"p:error=x",               // no trigger
+		"p:hit=1:error=a:panic=b", // two behaviors
+		"p:hit=1:wat=1",
+		"p:hit=1:delay=banana",
+	} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) accepted an invalid spec", spec)
+		}
+	}
+}
+
+// BenchmarkNilInjector pins the zero-overhead claim for production runs: an
+// injection point on a nil *Injector is one nil check.
+func BenchmarkNilInjector(b *testing.B) {
+	var inj *Injector
+	for i := 0; i < b.N; i++ {
+		if err := inj.Err("hot.path"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

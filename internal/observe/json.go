@@ -22,6 +22,7 @@ const (
 	TypeSnapshotWritten      = "snapshot_written"
 	TypeSnapshotWriteFailed  = "snapshot_write_failed"
 	TypeResultCacheHit       = "result_cache_hit"
+	TypePersistenceDegraded  = "persistence_degraded"
 	TypeRunFinished          = "run_finished"
 )
 
@@ -62,6 +63,8 @@ func TypeName(e Event) string {
 		return TypeSnapshotWriteFailed
 	case ResultCacheHit:
 		return TypeResultCacheHit
+	case PersistenceDegraded:
+		return TypePersistenceDegraded
 	case RunFinished:
 		return TypeRunFinished
 	default:
@@ -118,6 +121,8 @@ func UnmarshalEvent(b []byte) (Event, error) {
 		e = &SnapshotWriteFailed{}
 	case TypeResultCacheHit:
 		e = &ResultCacheHit{}
+	case TypePersistenceDegraded:
+		e = &PersistenceDegraded{}
 	case TypeRunFinished:
 		e = &RunFinished{}
 	default:
@@ -164,6 +169,8 @@ func deref(e Event) Event {
 	case *SnapshotWriteFailed:
 		return *ev
 	case *ResultCacheHit:
+		return *ev
+	case *PersistenceDegraded:
 		return *ev
 	case *RunFinished:
 		return *ev

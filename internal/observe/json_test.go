@@ -24,6 +24,7 @@ func allEvents() []Event {
 		SnapshotWritten{Key: "ab12", Examples: 5, Bytes: 4096, Duration: 90 * time.Millisecond},
 		SnapshotWriteFailed{Key: "ab12", Error: "disk full"},
 		ResultCacheHit{Key: "cd34", Bytes: 512},
+		PersistenceDegraded{Component: "journal", Detail: "disk full"},
 		RunFinished{Clauses: 2, ClausesConsidered: 120, UncoveredPositives: 0, Duration: 3 * time.Second},
 	}
 }

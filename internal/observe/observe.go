@@ -178,6 +178,19 @@ type ResultCacheHit struct {
 	Bytes int
 }
 
+// PersistenceDegraded is emitted by dlearn-serve when a persistence write
+// on a job's behalf failed and the server downgraded to best-effort
+// in-memory operation instead of failing the job: the job keeps running
+// (or stays completed) but would not survive a restart the way a fully
+// journalled job does. The engine itself never emits this event.
+type PersistenceDegraded struct {
+	// Component names what degraded: "journal" (the job's durability
+	// record) or "snapshot" (the shared prepared-example store).
+	Component string
+	// Detail is the rendered write error.
+	Detail string
+}
+
 // RunFinished is emitted once, just before Learn returns successfully.
 type RunFinished struct {
 	// Clauses is the size of the learned definition.
@@ -203,6 +216,7 @@ func (SnapshotMiss) isEvent()         {}
 func (SnapshotWritten) isEvent()      {}
 func (SnapshotWriteFailed) isEvent()  {}
 func (ResultCacheHit) isEvent()       {}
+func (PersistenceDegraded) isEvent()  {}
 func (RunFinished) isEvent()          {}
 
 // Observer receives the events of a learning run.

@@ -32,6 +32,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"dlearn/internal/fault"
 )
 
 // ErrNotFound is returned by Store.Load when no snapshot exists for a key.
@@ -70,6 +72,7 @@ const tmpMaxAge = time.Hour
 type DirStore struct {
 	dir      string
 	maxBytes int64
+	faults   *fault.Injector
 }
 
 // NewDirStore returns a store rooted at dir. The directory does not need to
@@ -91,6 +94,15 @@ func (s *DirStore) SetMaxBytes(n int64) *DirStore {
 // MaxBytes returns the configured size cap; zero means unbounded.
 func (s *DirStore) MaxBytes() int64 { return s.maxBytes }
 
+// SetFaults installs a fault-injection schedule on the store's I/O seams
+// (injection points "persist.load" and "persist.save"). Nil — the default —
+// disables injection entirely. It returns the store for chaining. Test hook;
+// production stores never set it.
+func (s *DirStore) SetFaults(inj *fault.Injector) *DirStore {
+	s.faults = inj
+	return s
+}
+
 func (s *DirStore) path(key Key) string {
 	return filepath.Join(s.dir, key.String()+snapshotExt)
 }
@@ -99,6 +111,9 @@ func (s *DirStore) path(key Key) string {
 // modification time (best effort), so the size-capped sweep removes
 // least-recently-used snapshots rather than least-recently-written ones.
 func (s *DirStore) Load(key Key) ([]byte, error) {
+	if err := s.faults.Err("persist.load"); err != nil {
+		return nil, err
+	}
 	path := s.path(key)
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -114,6 +129,17 @@ func (s *DirStore) Load(key Key) ([]byte, error) {
 
 // Save writes the snapshot file for the key atomically.
 func (s *DirStore) Save(key Key, data []byte) error {
+	if f := s.faults.Fire("persist.save"); f != nil {
+		if f.Kind == fault.KindTorn {
+			// A torn write: the truncated payload lands under the final name —
+			// exactly what a crash between write and fsync can leave behind on
+			// filesystems without atomic rename durability. The codec's
+			// checksum catches it at the next Load as a graceful miss.
+			_ = os.MkdirAll(s.dir, 0o755)
+			_ = os.WriteFile(s.path(key), f.Torn(data), 0o644)
+		}
+		return f.Err()
+	}
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		return fmt.Errorf("persist: creating snapshot dir: %w", err)
 	}

@@ -1,0 +1,454 @@
+package server
+
+// The chaos suite replays seeded fault schedules against a live server and
+// asserts the hardening invariants: the server never crashes, every submitted
+// job reaches a terminal state, degradation is visible (status flags, stats
+// counters, stream events) rather than silent, and completed definitions are
+// byte-identical to a fault-free run. Each test is one schedule, written in
+// the fault package's grammar so the -fault-schedule flag path is exercised
+// end to end. CI runs the whole suite under -race as the chaos-smoke job
+// (every test here matches -run 'TestChaos').
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dlearn"
+	"dlearn/internal/fault"
+	"dlearn/internal/server/wire"
+)
+
+// chaosBaseline learns the suite's problem directly, with no server and no
+// faults: the definition every chaotic run must still produce byte-for-byte.
+func chaosBaseline(t *testing.T) string {
+	t.Helper()
+	engOpts, err := serveOptions().EngineOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, _, err := dlearn.New(engOpts...).Learn(context.Background(), serveProblem(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return def.String()
+}
+
+// chaosSchedule parses a schedule in the -fault-schedule grammar.
+func chaosSchedule(t *testing.T, spec string, seed int64) *fault.Injector {
+	t.Helper()
+	inj, err := fault.Parse(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj == nil {
+		t.Fatalf("schedule %q parsed to no injector", spec)
+	}
+	return inj
+}
+
+// TestChaosSnapshotWriteFailure injects a disk-write failure into the shared
+// snapshot store: the job must complete anyway (degraded, counted, identical
+// definition) and the next identical job re-prepares from scratch because
+// nothing was persisted.
+func TestChaosSnapshotWriteFailure(t *testing.T) {
+	faults := chaosSchedule(t, "persist.save:hit=1:error=disk full", 1)
+	store := dlearn.NewDirSnapshotStore(t.TempDir()).SetFaults(faults)
+	s, client := newTestServer(t, Config{
+		MaxConcurrent:       1,
+		Store:               store,
+		ResultCacheMaxBytes: -1, // every submission must reach the engine
+		Faults:              faults,
+	})
+
+	p := serveProblem(t)
+	first, err := client.Learn(context.Background(), p, serveOptions(), nil)
+	if err != nil {
+		t.Fatalf("job failed on a snapshot write fault: %v", err)
+	}
+	want := chaosBaseline(t)
+	if first.Definition != want {
+		t.Errorf("definition under snapshot fault differs from fault-free run")
+	}
+	st := s.Stats()
+	if st.SnapshotWriteFailures != 1 || st.DegradedJobs != 1 {
+		t.Errorf("stats = %d write failures / %d degraded jobs, want 1/1",
+			st.SnapshotWriteFailures, st.DegradedJobs)
+	}
+	jobID := findOnlyJobID(t, s)
+	if jst, err := client.Status(context.Background(), jobID); err != nil || !jst.Degraded {
+		t.Errorf("job status not flagged degraded after snapshot write failure (err=%v)", err)
+	}
+
+	// The failed save persisted nothing: the identical resubmission misses
+	// the store, re-prepares, and still lands on the same bytes.
+	second, err := client.Learn(context.Background(), p, serveOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Report.SnapshotHit {
+		t.Error("second job warm-started from a snapshot whose write failed")
+	}
+	if second.Definition != want {
+		t.Errorf("post-fault definition differs from fault-free run")
+	}
+}
+
+// TestChaosTornSnapshotWrite tears the snapshot write so a truncated payload
+// lands under the final name — what a crash between write and fsync leaves
+// behind. The codec's checksum must catch it on the next load as a graceful
+// miss, never as a failed job.
+func TestChaosTornSnapshotWrite(t *testing.T) {
+	faults := chaosSchedule(t, "persist.save:hit=1:torn=crash at fsync:keep=64", 1)
+	store := dlearn.NewDirSnapshotStore(t.TempDir()).SetFaults(faults)
+	s, client := newTestServer(t, Config{
+		MaxConcurrent:       1,
+		Store:               store,
+		ResultCacheMaxBytes: -1,
+		Faults:              faults,
+	})
+
+	p := serveProblem(t)
+	want := chaosBaseline(t)
+	first, err := client.Learn(context.Background(), p, serveOptions(), nil)
+	if err != nil {
+		t.Fatalf("job failed on a torn snapshot write: %v", err)
+	}
+	second, err := client.Learn(context.Background(), p, serveOptions(), nil)
+	if err != nil {
+		t.Fatalf("job failed loading a torn snapshot: %v", err)
+	}
+	if second.Report.SnapshotHit {
+		t.Error("torn snapshot served as a hit; the checksum should reject it")
+	}
+	if first.Definition != want || second.Definition != want {
+		t.Errorf("definitions under torn snapshot differ from fault-free run")
+	}
+	if st := s.Stats(); st.SnapshotMisses != 2 {
+		t.Errorf("snapshot misses = %d, want 2 (torn file must read as a miss)", st.SnapshotMisses)
+	}
+}
+
+// TestChaosDegradedJournalAdmission fails the admission-time journal write:
+// the job must be accepted and run to completion anyway — flagged degraded on
+// its status, counted in stats and /readyz, and announced on its own event
+// stream — instead of being turned away with a 500.
+func TestChaosDegradedJournalAdmission(t *testing.T) {
+	s, client := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		JobDir:        t.TempDir(),
+		Faults:        chaosSchedule(t, "journal.admit:hit=1:error=disk full", 1),
+	})
+
+	var degradedEvents int
+	res, err := client.Learn(context.Background(), serveProblem(t), serveOptions(), func(e dlearn.Event) {
+		if _, ok := e.(dlearn.PersistenceDegraded); ok {
+			degradedEvents++
+		}
+	})
+	if err != nil {
+		t.Fatalf("job rejected or failed on a journal admission fault: %v", err)
+	}
+	if res.Definition != chaosBaseline(t) {
+		t.Errorf("degraded job's definition differs from fault-free run")
+	}
+	if degradedEvents != 1 {
+		t.Errorf("stream carried %d persistence_degraded events, want 1", degradedEvents)
+	}
+	st := s.Stats()
+	if st.JournalWriteFailures != 1 || st.DegradedJobs != 1 {
+		t.Errorf("stats = %d journal write failures / %d degraded jobs, want 1/1",
+			st.JournalWriteFailures, st.DegradedJobs)
+	}
+	jst, err := client.Status(context.Background(), findOnlyJobID(t, s))
+	if err != nil || !jst.Degraded {
+		t.Errorf("job status not flagged degraded (err=%v)", err)
+	}
+	if rd := s.Ready(); !rd.Ready || rd.DegradedJobs != 1 {
+		t.Errorf("Ready() = %+v, want ready with 1 degraded job", rd)
+	}
+}
+
+// TestChaosTornJournalWrite tears the terminal journal rewrite mid-write, as
+// a crash at fsync time would: the job still completes (degraded), and the
+// restarted server sets the damaged record aside as .corrupt and counts it —
+// a job may be lost to a torn disk, but never silently.
+func TestChaosTornJournalWrite(t *testing.T) {
+	dir := t.TempDir()
+	s1, client1, stop1 := bootServer(t, Config{
+		MaxConcurrent: 1,
+		JobDir:        dir,
+		Faults:        chaosSchedule(t, "journal.finish:hit=1:torn=crash at fsync", 1),
+	})
+
+	res, err := client1.Learn(context.Background(), serveProblem(t), serveOptions(), nil)
+	if err != nil {
+		t.Fatalf("job failed on a torn journal rewrite: %v", err)
+	}
+	if res.Definition != chaosBaseline(t) {
+		t.Errorf("definition under torn journal write differs from fault-free run")
+	}
+	if st := s1.Stats(); st.JournalWriteFailures != 1 || st.DegradedJobs != 1 {
+		t.Errorf("stats after torn rewrite = %d journal write failures / %d degraded, want 1/1",
+			st.JournalWriteFailures, st.DegradedJobs)
+	}
+	stop1()
+
+	s2, _, stop2 := bootServer(t, Config{MaxConcurrent: 1, JobDir: dir})
+	defer stop2()
+	st := s2.Stats()
+	if st.JournalCorruptRecords != 1 {
+		t.Errorf("restart counted %d corrupt records, want 1", st.JournalCorruptRecords)
+	}
+	if st.RecoveredJobs != 0 {
+		t.Errorf("restart recovered %d jobs from a torn record, want 0", st.RecoveredJobs)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.corrupt"))
+	if err != nil || len(entries) != 1 {
+		t.Errorf("torn record not set aside: %v files (%v)", entries, err)
+	}
+}
+
+// TestChaosWorkerPanic is the panic-isolation pin: a panic injected into the
+// learner's observer path terminates exactly that job as failed — recovered
+// value and stack in both its status and its journal record — while the
+// server keeps accepting and completing subsequent jobs byte-identically.
+func TestChaosWorkerPanic(t *testing.T) {
+	dir := t.TempDir()
+	s, client := newTestServer(t, Config{
+		MaxConcurrent:       1,
+		JobDir:              dir,
+		ResultCacheMaxBytes: -1,
+		Faults:              chaosSchedule(t, "worker.observe:hit=2:panic=chaos monkey unleashed", 1),
+	})
+
+	p := serveProblem(t)
+	_, err := client.Learn(context.Background(), p, serveOptions(), nil)
+	var remoteErr *RemoteJobError
+	if !errors.As(err, &remoteErr) || remoteErr.State != wire.StateFailed {
+		t.Fatalf("panicked job returned %v, want a failed RemoteJobError", err)
+	}
+	if !strings.Contains(remoteErr.Message, "job panicked") ||
+		!strings.Contains(remoteErr.Message, "chaos monkey unleashed") ||
+		!strings.Contains(remoteErr.Message, "goroutine") {
+		t.Errorf("panic error carries no recovered value + stack: %q", truncateForLog(remoteErr.Message))
+	}
+	panickedID := findOnlyJobID(t, s)
+
+	// The journal record persisted the stack with the failure.
+	data, err := os.ReadFile(filepath.Join(dir, panickedID+jobFileExt))
+	if err != nil {
+		t.Fatalf("no journal record for the panicked job: %v", err)
+	}
+	var rec journalRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != wire.StateFailed || !strings.Contains(rec.Error, "goroutine") {
+		t.Errorf("journal record state=%q with stack=%v, want failed with the stack",
+			rec.State, strings.Contains(rec.Error, "goroutine"))
+	}
+
+	// The server survived: the next job completes, byte-identical.
+	res, err := client.Learn(context.Background(), p, serveOptions(), nil)
+	if err != nil {
+		t.Fatalf("server stopped serving after a worker panic: %v", err)
+	}
+	if res.Definition != chaosBaseline(t) {
+		t.Errorf("post-panic definition differs from fault-free run")
+	}
+	st := s.Stats()
+	if st.WorkerPanics != 1 || st.Failed != 1 || st.Completed != 1 {
+		t.Errorf("stats = %d panics / %d failed / %d completed, want 1/1/1",
+			st.WorkerPanics, st.Failed, st.Completed)
+	}
+}
+
+// TestChaosWorkerRunPanic covers the other injection point: a panic at the
+// very top of the worker's run, before the engine starts.
+func TestChaosWorkerRunPanic(t *testing.T) {
+	s, client := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		Faults:        chaosSchedule(t, "worker.run:hit=1:panic=boom", 1),
+	})
+	p := serveProblem(t)
+	_, err := client.Learn(context.Background(), p, serveOptions(), nil)
+	var remoteErr *RemoteJobError
+	if !errors.As(err, &remoteErr) || remoteErr.State != wire.StateFailed {
+		t.Fatalf("panicked job returned %v, want a failed RemoteJobError", err)
+	}
+	if res, err := client.Learn(context.Background(), p, serveOptions(), nil); err != nil {
+		t.Fatalf("server stopped serving after a worker panic: %v", err)
+	} else if res.Definition != chaosBaseline(t) {
+		t.Errorf("post-panic definition differs from fault-free run")
+	}
+	if st := s.Stats(); st.WorkerPanics != 1 {
+		t.Errorf("worker panics = %d, want 1", st.WorkerPanics)
+	}
+}
+
+// TestChaosSlowSSEConsumer pins the backpressure contract with a delay fault
+// on every SSE write: a one-slot buffer behind a writer slower than the grace
+// forces repeated slow-consumer drops, yet the live job never blocks and the
+// retrying client — reconnecting with Last-Event-ID, its budget reset by each
+// connection's progress — still assembles the full run and the exact result.
+func TestChaosSlowSSEConsumer(t *testing.T) {
+	s, client := newTestServer(t, Config{
+		MaxConcurrent:   1,
+		SSEBufferEvents: 1,
+		SSEWriteTimeout: 25 * time.Millisecond,
+		Faults:          chaosSchedule(t, "sse.write:every=1:delay=60ms", 1),
+	})
+	client.Retry = Backoff{Retries: 8, Base: time.Millisecond, Seed: 7}
+
+	res, err := client.Learn(context.Background(), serveProblem(t), serveOptions(), nil)
+	if err != nil {
+		t.Fatalf("slow consumer never completed: %v", err)
+	}
+	if res.Definition != chaosBaseline(t) {
+		t.Errorf("definition streamed through drops differs from fault-free run")
+	}
+	if st := s.Stats(); st.SSESlowDrops < 1 {
+		t.Errorf("no slow-consumer drop was counted (drops = %d)", st.SSESlowDrops)
+	}
+	if jst, err := client.Status(context.Background(), findOnlyJobID(t, s)); err != nil || jst.State != wire.StateDone {
+		t.Errorf("job behind a slow consumer did not complete: %+v (%v)", jst, err)
+	}
+}
+
+// TestChaosCrashRestartMidRun emulates kill -9 between a job's completion
+// and its terminal journal rewrite: the rewrite is lost to a fault, the
+// server is abandoned without shutdown, and the restarted server must
+// re-enqueue the still-queued record, re-run it from scratch, and land on
+// the byte-identical definition. No job lost, none stuck.
+func TestChaosCrashRestartMidRun(t *testing.T) {
+	dir := t.TempDir()
+	s1, client1, _ := bootServer(t, Config{
+		MaxConcurrent: 1,
+		JobDir:        dir,
+		Faults:        chaosSchedule(t, "journal.finish:hit=1:error=power cut before rewrite", 1),
+	})
+
+	first, err := client1.Learn(context.Background(), serveProblem(t), serveOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobID := findOnlyJobID(t, s1)
+	// Crash: abandon s1 without Shutdown. Its journal record still says
+	// queued — the terminal rewrite was lost to the fault.
+
+	s2, client2, stop2 := bootServer(t, Config{MaxConcurrent: 1, JobDir: dir})
+	defer stop2()
+	if st := s2.Stats(); st.RecoveredJobs != 1 {
+		t.Fatalf("recovered %d jobs, want 1", st.RecoveredJobs)
+	}
+	var jst wire.JobStatus
+	waitFor(t, "re-run of the crashed job", func() bool {
+		var err error
+		jst, err = client2.Status(context.Background(), jobID)
+		return err == nil && terminal(jst.State)
+	})
+	if jst.State != wire.StateDone {
+		t.Fatalf("re-run job finished %q (%s), want done", jst.State, truncateForLog(jst.Error))
+	}
+	if jst.Result == nil || jst.Result.Definition != first.Definition {
+		t.Errorf("re-run definition differs from the pre-crash run")
+	}
+	if first.Definition != chaosBaseline(t) {
+		t.Errorf("definition differs from fault-free run")
+	}
+}
+
+// TestChaosShutdownCancelRace drives the terminal-transition guard: many
+// jobs, two concurrent DELETEs each, racing a hard shutdown. Whoever wins,
+// every job must end in exactly one terminal state with exactly one terminal
+// event in its log, and the outcome counters must partition the submissions.
+func TestChaosShutdownCancelRace(t *testing.T) {
+	g := newGate()
+	s, err := New(Config{
+		MaxConcurrent: 2,
+		MaxQueued:     32,
+		MaxPerTenant:  -1,
+		JobDir:        t.TempDir(),
+		EngineOptions: []dlearn.Option{dlearn.WithObserver(g)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := serveProblem(t)
+	const n = 8
+	jobs := make([]*Job, n)
+	for i := range jobs {
+		if jobs[i], err = s.Submit("t", p, serveOptions()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.waitEntered(t) // at least one job is mid-run
+
+	// An already-expired drain deadline forces the hard shutdown path.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		for k := 0; k < 2; k++ {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				<-start
+				s.Cancel(id)
+			}(j.ID)
+		}
+	}
+	done := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		done <- s.Shutdown(ctx)
+	}()
+	close(start)
+	close(g.release)
+	<-done
+	wg.Wait()
+
+	terminals := 0
+	for _, j := range jobs {
+		if !terminal(j.State()) {
+			t.Errorf("job %s stuck in state %q after shutdown", j.ID, j.State())
+		}
+		evs, _, _ := j.eventsFrom(0)
+		count := 0
+		for _, ev := range evs {
+			if ev.name == wire.EventResult || ev.name == wire.EventError {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Errorf("job %s log carries %d terminal events, want exactly 1", j.ID, count)
+		}
+		terminals += count
+	}
+	st := s.Stats()
+	if got := st.Completed + st.Failed + st.Cancelled; got != n {
+		t.Errorf("outcome counters sum to %d (completed=%d failed=%d cancelled=%d), want %d",
+			got, st.Completed, st.Failed, st.Cancelled, n)
+	}
+	if terminals != n {
+		t.Errorf("%d terminal events across %d jobs", terminals, n)
+	}
+}
+
+// truncateForLog keeps failure output readable when an error embeds a stack.
+func truncateForLog(s string) string {
+	if len(s) > 300 {
+		return s[:300] + "…"
+	}
+	return s
+}

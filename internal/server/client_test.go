@@ -1,0 +1,382 @@
+package server
+
+// Tests for the client's retry policy: capped exponential backoff with
+// seeded jitter on transient admission rejections (429/503, honoring
+// Retry-After) and automatic SSE reconnect-and-resume via Last-Event-ID.
+// Handlers are stubbed so every retryable and non-retryable path is pinned
+// without timing dependence (the sleep hook records delays instead of
+// waiting them out).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dlearn"
+	"dlearn/internal/server/wire"
+)
+
+// stubClient wires a client to a handler with an instant, recording sleep.
+func stubClient(t *testing.T, h http.Handler, retry Backoff) (*Client, *[]time.Duration) {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	slept := &[]time.Duration{}
+	return &Client{
+		BaseURL: ts.URL,
+		Retry:   retry,
+		sleep: func(_ context.Context, d time.Duration) error {
+			*slept = append(*slept, d)
+			return nil
+		},
+	}, slept
+}
+
+func acceptJob(w http.ResponseWriter) {
+	writeJSON(w, http.StatusAccepted, wire.JobAccepted{ID: "j1", State: wire.StateQueued})
+}
+
+// TestClientSubmitRetriesAdmission rejects the first two submissions with
+// 429 + Retry-After and accepts the third: the client must retry through
+// both rejections, waiting at least the server's hint each time.
+func TestClientSubmitRetriesAdmission(t *testing.T) {
+	var attempts atomic.Int64
+	client, slept := stubClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "queue full"})
+			return
+		}
+		acceptJob(w)
+	}), Backoff{Retries: 3, Base: 10 * time.Millisecond, Seed: 42})
+
+	acc, err := client.Submit(context.Background(), wire.Problem{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.ID != "j1" {
+		t.Errorf("accepted job = %+v", acc)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3", got)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("client slept %d times, want 2", len(*slept))
+	}
+	for i, d := range *slept {
+		if d < time.Second {
+			t.Errorf("sleep %d = %v, want >= the 1s Retry-After hint", i, d)
+		}
+	}
+}
+
+// TestClientSubmitDoesNotRetryPermanentRejection pins that only 429/503 are
+// retried: a 400 is a definitive no.
+func TestClientSubmitDoesNotRetryPermanentRejection(t *testing.T) {
+	var attempts atomic.Int64
+	client, slept := stubClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed"})
+	}), Backoff{Retries: 5})
+
+	_, err := client.Submit(context.Background(), wire.Problem{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("got %v, want a 400 APIError", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want 1 (no retry on 400)", got)
+	}
+	if len(*slept) != 0 {
+		t.Errorf("client slept %d times, want 0", len(*slept))
+	}
+}
+
+// TestClientSubmitExhaustsRetryBudget keeps rejecting: the client must give
+// up after Retries+1 attempts and surface the rejection.
+func TestClientSubmitExhaustsRetryBudget(t *testing.T) {
+	var attempts atomic.Int64
+	client, _ := stubClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
+	}), Backoff{Retries: 2, Base: time.Millisecond, Seed: 1})
+
+	_, err := client.Submit(context.Background(), wire.Problem{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("got %v, want the 503 APIError", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3 (1 try + 2 retries)", got)
+	}
+}
+
+// learnMux serves a fixed job and delegates the events endpoint.
+func learnMux(events http.HandlerFunc) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) { acceptJob(w) })
+	mux.HandleFunc("GET /v1/jobs/j1/events", events)
+	return mux
+}
+
+// TestClientLearnReconnectsWithLastEventID drops the stream after one
+// non-terminal event: the client must reconnect carrying Last-Event-ID for
+// exactly the event it saw, and complete from the resumed stream.
+func TestClientLearnReconnectsWithLastEventID(t *testing.T) {
+	var gets atomic.Int64
+	var badResume atomic.Int64
+	resData, _ := json.Marshal(wire.Result{Target: "t", Definition: "t() :- true."})
+	client, slept := stubClient(t, learnMux(func(w http.ResponseWriter, r *http.Request) {
+		switch gets.Add(1) {
+		case 1:
+			if r.Header.Get("Last-Event-ID") != "" {
+				badResume.Add(1)
+			}
+			writeSSE(w, 0, "run_started", []byte(`{"type":"run_started","event":{}}`))
+			// The stream ends here, before any terminal event: a drop.
+		default:
+			if r.Header.Get("Last-Event-ID") != "0" {
+				badResume.Add(1)
+			}
+			writeSSE(w, 1, wire.EventResult, resData)
+		}
+	}), Backoff{Retries: 2, Base: time.Millisecond, Seed: 1})
+
+	res, err := client.Learn(context.Background(), serveProblem(t), wire.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Definition != "t() :- true." {
+		t.Errorf("result = %+v", res)
+	}
+	if got := gets.Load(); got != 2 {
+		t.Errorf("events endpoint saw %d requests, want 2", got)
+	}
+	if badResume.Load() != 0 {
+		t.Error("a reconnect carried the wrong Last-Event-ID")
+	}
+	if len(*slept) != 1 {
+		t.Errorf("client slept %d times, want 1 (one reconnect)", len(*slept))
+	}
+}
+
+// TestClientLearnBudgetResetsOnProgress drops the stream after every single
+// event, more times than the retry budget allows consecutively: because each
+// reconnect makes progress, the budget keeps resetting and the run completes.
+func TestClientLearnBudgetResetsOnProgress(t *testing.T) {
+	var gets atomic.Int64
+	resData, _ := json.Marshal(wire.Result{Target: "t", Definition: "t() :- true."})
+	client, _ := stubClient(t, learnMux(func(w http.ResponseWriter, r *http.Request) {
+		gets.Add(1)
+		next := 0
+		if last := r.Header.Get("Last-Event-ID"); last != "" {
+			n, err := strconv.Atoi(last)
+			if err != nil {
+				t.Errorf("unparsable Last-Event-ID %q", last)
+			}
+			next = n + 1
+		}
+		if next >= 3 {
+			writeSSE(w, next, wire.EventResult, resData)
+			return
+		}
+		writeSSE(w, next, "run_started", []byte(`{"type":"run_started","event":{}}`))
+	}), Backoff{Retries: 1, Base: time.Millisecond, Seed: 1})
+
+	if _, err := client.Learn(context.Background(), serveProblem(t), wire.Options{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := gets.Load(); got != 4 {
+		t.Errorf("events endpoint saw %d requests, want 4 (3 drops with progress + final)", got)
+	}
+}
+
+// TestClientLearnGivesUpWithoutProgress never sends an event: consecutive
+// fruitless reconnects must exhaust the budget.
+func TestClientLearnGivesUpWithoutProgress(t *testing.T) {
+	var gets atomic.Int64
+	client, _ := stubClient(t, learnMux(func(w http.ResponseWriter, r *http.Request) {
+		gets.Add(1)
+		// Open, say nothing, close: a dropped stream with zero progress.
+	}), Backoff{Retries: 2, Base: time.Millisecond, Seed: 1})
+
+	if _, err := client.Learn(context.Background(), serveProblem(t), wire.Options{}, nil); err == nil {
+		t.Fatal("a stream that never progresses must eventually error")
+	}
+	if got := gets.Load(); got != 3 {
+		t.Errorf("events endpoint saw %d requests, want 3 (1 try + 2 retries)", got)
+	}
+}
+
+// TestClientLearnDoesNotRetryTerminalError pins that a job's real outcome is
+// never retried: the error event is the answer, not a transient.
+func TestClientLearnDoesNotRetryTerminalError(t *testing.T) {
+	var gets atomic.Int64
+	errData, _ := json.Marshal(wire.JobError{State: wire.StateCancelled, Error: "cancelled by client"})
+	client, _ := stubClient(t, learnMux(func(w http.ResponseWriter, r *http.Request) {
+		gets.Add(1)
+		writeSSE(w, 0, wire.EventError, errData)
+	}), Backoff{Retries: 5, Base: time.Millisecond, Seed: 1})
+
+	_, err := client.Learn(context.Background(), serveProblem(t), wire.Options{}, nil)
+	var remoteErr *RemoteJobError
+	if !errors.As(err, &remoteErr) || remoteErr.State != wire.StateCancelled {
+		t.Fatalf("got %v, want the cancelled RemoteJobError", err)
+	}
+	if got := gets.Load(); got != 1 {
+		t.Errorf("events endpoint saw %d requests, want 1 (no retry on a terminal outcome)", got)
+	}
+}
+
+// TestClientLearnDoesNotRetryDecodeError pins that a malformed terminal
+// payload — a protocol bug — is surfaced, not retried into a loop.
+func TestClientLearnDoesNotRetryDecodeError(t *testing.T) {
+	var gets atomic.Int64
+	client, _ := stubClient(t, learnMux(func(w http.ResponseWriter, r *http.Request) {
+		gets.Add(1)
+		writeSSE(w, 0, wire.EventResult, []byte("{not json"))
+	}), Backoff{Retries: 5, Base: time.Millisecond, Seed: 1})
+
+	_, err := client.Learn(context.Background(), serveProblem(t), wire.Options{}, nil)
+	if err == nil {
+		t.Fatal("malformed result event did not error")
+	}
+	if got := gets.Load(); got != 1 {
+		t.Errorf("events endpoint saw %d requests, want 1 (no retry on a decode error)", got)
+	}
+}
+
+// TestClientZeroBackoffDisablesRetry keeps the old contract for clients that
+// never opt in: one attempt, the plain error.
+func TestClientZeroBackoffDisablesRetry(t *testing.T) {
+	var attempts atomic.Int64
+	client, _ := stubClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "queue full"})
+	}), Backoff{})
+
+	if _, err := client.Submit(context.Background(), wire.Problem{}); err == nil {
+		t.Fatal("zero backoff still retried into success?")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want 1", got)
+	}
+}
+
+// TestClientDelayJitterDeterministic pins the backoff arithmetic: doubling
+// from Base with ±25% jitter, capped at Max, deterministic per seed, and
+// never below the server's Retry-After hint.
+func TestClientDelayJitterDeterministic(t *testing.T) {
+	mk := func(seed int64) *Client {
+		return &Client{Retry: Backoff{Retries: 3, Base: 100 * time.Millisecond, Max: time.Second, Seed: seed}}
+	}
+	a, b, c := mk(5), mk(5), mk(6)
+	var aSeq, bSeq, cSeq []time.Duration
+	for attempt := 1; attempt <= 6; attempt++ {
+		aSeq = append(aSeq, a.delay(attempt, 0))
+		bSeq = append(bSeq, b.delay(attempt, 0))
+		cSeq = append(cSeq, c.delay(attempt, 0))
+	}
+	differ := false
+	for i := range aSeq {
+		if aSeq[i] != bSeq[i] {
+			t.Errorf("same-seed delay %d differs: %v vs %v", i, aSeq[i], bSeq[i])
+		}
+		if aSeq[i] != cSeq[i] {
+			differ = true
+		}
+		// Attempt n doubles from Base, capped at Max, then jitters ±25%.
+		base := 100 * time.Millisecond << (i)
+		if base > time.Second || base <= 0 {
+			base = time.Second
+		}
+		lo, hi := base*3/4, base*5/4
+		if aSeq[i] < lo || aSeq[i] > hi {
+			t.Errorf("delay(%d) = %v, want within [%v, %v]", i+1, aSeq[i], lo, hi)
+		}
+	}
+	if !differ {
+		t.Error("different seeds produced identical jitter sequences")
+	}
+
+	// Retry-After dominates a smaller computed delay.
+	if d := mk(5).delay(1, 3*time.Second); d != 3*time.Second {
+		t.Errorf("delay with Retry-After 3s = %v, want exactly 3s", d)
+	}
+	// A huge attempt number must not overflow into a negative shift.
+	if d := mk(5).delay(40, 0); d <= 0 || d > time.Second*5/4 {
+		t.Errorf("delay(40) = %v, want capped at Max with jitter", d)
+	}
+}
+
+// TestReadyzFlipsWhileDraining probes /healthz and /readyz around a drain:
+// ready while serving, 503 with draining reported once Shutdown begins —
+// liveness stays green throughout, so orchestrators stop routing without
+// killing the process mid-drain.
+func TestReadyzFlipsWhileDraining(t *testing.T) {
+	g := newGate()
+	s, client := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		EngineOptions: []dlearn.Option{dlearn.WithObserver(g)},
+	})
+
+	getReady := func() (int, wire.Ready) {
+		t.Helper()
+		resp, err := http.Get(client.BaseURL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rd wire.Ready
+		if err := json.NewDecoder(resp.Body).Decode(&rd); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, rd
+	}
+
+	if code, rd := getReady(); code != http.StatusOK || !rd.Ready || rd.Draining {
+		t.Fatalf("serving readyz = %d %+v, want 200 ready", code, rd)
+	}
+
+	// Hold a job mid-run so the drain stays observable, then shut down.
+	wp := wire.EncodeProblem(serveProblem(t))
+	wp.Options = serveOptions()
+	if _, err := client.Submit(context.Background(), wp); err != nil {
+		t.Fatal(err)
+	}
+	g.waitEntered(t)
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	waitFor(t, "draining to start", func() bool {
+		code, _ := getReady()
+		return code == http.StatusServiceUnavailable
+	})
+	if code, rd := getReady(); code != http.StatusServiceUnavailable || rd.Ready || !rd.Draining {
+		t.Fatalf("draining readyz = %d %+v, want 503 draining", code, rd)
+	}
+	// Liveness must not flip with readiness.
+	resp, err := http.Get(client.BaseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining = %d, want 200", resp.StatusCode)
+	}
+
+	close(g.release)
+	if err := <-done; err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+}

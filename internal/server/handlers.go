@@ -1,11 +1,15 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"strconv"
+	"time"
 
 	"dlearn/internal/server/wire"
 )
@@ -17,7 +21,8 @@ import (
 //	DELETE /v1/jobs/{id}        cancel (idempotent)
 //	GET    /v1/jobs/{id}/events SSE stream, terminal "result"/"error" event
 //	GET    /v1/stats            queue/outcome/snapshot/scheduler counters
-//	GET    /healthz             liveness
+//	GET    /healthz             liveness (200 while the process serves)
+//	GET    /readyz              readiness (503 while draining; reports degraded persistence)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -29,7 +34,22 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
+}
+
+// handleReady is the readiness probe: 200 while the server accepts new jobs,
+// 503 once it is draining, so a load balancer stops routing submissions
+// before shutdown interrupts them. The body reports degraded-persistence
+// signals either way — a ready server running degraded is still worth an
+// alarm, just not worth pulling from rotation.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	rd := s.Ready()
+	status := http.StatusOK
+	if !rd.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rd)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -107,6 +127,15 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // from the start so late subscribers see the whole run, then following live
 // until the terminal event. The SSE id field carries the event index, so a
 // reconnecting client can resume with Last-Event-ID.
+//
+// Delivery is backpressure-aware: a feeder goroutine follows the job log
+// into a bounded per-subscriber buffer, and the connection goroutine writes
+// it out under a per-write deadline. A subscriber that stalls — its buffer
+// full past the grace, or a single write blocked past the deadline — is
+// dropped and counted, not waited on: the job log it fell behind on is
+// retained in full, so the client reconnects with Last-Event-ID and replays
+// exactly what it missed. One slow consumer therefore costs one bounded
+// buffer and one connection, never unbounded memory or a wedged handler.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -133,23 +162,75 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			next = n + 1
 		}
 	}
-	for {
-		evs, done, changed := j.eventsFrom(next)
-		for _, ev := range evs {
-			if err := writeSSE(w, next, ev.name, ev.data); err != nil {
+
+	feedCtx, stopFeed := context.WithCancel(r.Context())
+	defer stopFeed()
+	buf := make(chan streamEvent, s.cfg.SSEBufferEvents)
+	lagged := make(chan struct{})
+	go func() {
+		// The feeder owns buf and closes it when the stream is complete, the
+		// client is gone, or the subscriber has been declared too slow.
+		defer close(buf)
+		idx := next
+		grace := time.NewTimer(s.cfg.SSEWriteTimeout)
+		defer grace.Stop()
+		for {
+			evs, done, changed := j.eventsFrom(idx)
+			for _, ev := range evs {
+				if !grace.Stop() {
+					<-grace.C
+				}
+				grace.Reset(s.cfg.SSEWriteTimeout)
+				select {
+				case buf <- ev:
+					idx++
+				case <-feedCtx.Done():
+					return
+				case <-grace.C:
+					// Buffer full for a whole grace period: the consumer is
+					// not keeping up. Drop it rather than buffer unboundedly.
+					close(lagged)
+					return
+				}
+			}
+			if done {
 				return
 			}
-			next++
+			select {
+			case <-changed:
+			case <-feedCtx.Done():
+				return
+			}
 		}
-		flusher.Flush()
-		if done {
+	}()
+
+	// SetWriteDeadline is best effort: real net/http connections support it,
+	// recorders in unit tests do not (ErrNotSupported), and either way a
+	// stalled write on a supported connection fails rather than wedging the
+	// handler forever.
+	rc := http.NewResponseController(w)
+	for ev := range buf {
+		s.cfg.Faults.Delay("sse.write")
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.SSEWriteTimeout))
+		if err := writeSSE(w, next, ev.name, ev.data); err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				s.sseSlowDrops.Add(1)
+			}
 			return
 		}
-		select {
-		case <-changed:
-		case <-r.Context().Done():
-			return
+		next++
+		if len(buf) == 0 {
+			flusher.Flush()
 		}
+	}
+	select {
+	case <-lagged:
+		// Dropped for falling behind. Tell the client why on a best-effort
+		// comment line; its Last-Event-ID machinery takes it from here.
+		s.sseSlowDrops.Add(1)
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.SSEWriteTimeout))
+		io.WriteString(w, ": dropped: subscriber too slow, reconnect with Last-Event-ID to resume\n\n")
+	default:
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dlearn"
+	"dlearn/internal/observe"
 	"dlearn/internal/server/wire"
 )
 
@@ -53,6 +54,10 @@ type Job struct {
 	errMsg    string
 	result    *wire.Result
 	events    []streamEvent
+	// degraded marks a job whose persistence failed mid-flight: the job keeps
+	// running in memory (best effort) but would not survive a restart the way
+	// a fully journalled job does.
+	degraded bool
 	// changed is closed and replaced whenever events or state change;
 	// stream readers wait on it instead of polling.
 	changed chan struct{}
@@ -115,36 +120,68 @@ func (j *Job) start() bool {
 
 // complete records a successful run: the terminal "result" event and the
 // done state land atomically, so a stream reader that sees the terminal
-// state has the full event log.
-func (j *Job) complete(res wire.Result) {
+// state has the full event log. It reports whether this call performed the
+// transition: a job that is already terminal (cancelled during shutdown,
+// failed by a panic recovery) is left untouched, so two racing terminators
+// can never both append a terminal event or both bump an outcome counter.
+func (j *Job) complete(res wire.Result) bool {
 	data, err := json.Marshal(res)
 	if err != nil {
-		j.fail(wire.StateFailed, "encoding result: "+err.Error())
-		return
+		return j.fail(wire.StateFailed, "encoding result: "+err.Error())
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if terminal(j.state) {
+		return false
+	}
 	j.state = wire.StateDone
 	j.finished = time.Now()
 	j.result = &res
 	j.events = append(j.events, streamEvent{name: wire.EventResult, data: data})
 	j.signal()
+	return true
 }
 
 // fail records a failed or cancelled run with its terminal "error" event.
-func (j *Job) fail(state, msg string) {
+// Like complete, it reports whether this call performed the transition and
+// no-ops on an already-terminal job.
+func (j *Job) fail(state, msg string) bool {
 	data, _ := json.Marshal(wire.JobError{State: state, Error: msg})
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.failLocked(state, msg, data)
+	return j.failLocked(state, msg, data)
 }
 
-func (j *Job) failLocked(state, msg string, data []byte) {
+func (j *Job) failLocked(state, msg string, data []byte) bool {
+	if terminal(j.state) {
+		return false
+	}
 	j.state = state
 	j.finished = time.Now()
 	j.errMsg = msg
 	j.events = append(j.events, streamEvent{name: wire.EventError, data: data})
 	j.signal()
+	return true
+}
+
+// degrade marks the job's persistence as best-effort after a failed write,
+// appending a persistence_degraded event to the stream while the job is
+// still live (a post-terminal degradation only flips the flag — the stream
+// has already delivered its terminal event). It reports whether the job was
+// newly degraded, so callers can count degraded jobs exactly once.
+func (j *Job) degrade(component, detail string) bool {
+	data, err := observe.MarshalEvent(observe.PersistenceDegraded{Component: component, Detail: detail})
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.degraded {
+		return false
+	}
+	j.degraded = true
+	if err == nil && !terminal(j.state) {
+		j.events = append(j.events, streamEvent{name: observe.TypePersistenceDegraded, data: data})
+		j.signal()
+	}
+	return true
 }
 
 // cancelQueued atomically moves a still-queued job to cancelled, so the
@@ -216,6 +253,7 @@ func recoverJob(base context.Context, rec journalRecord, p *dlearn.Problem, time
 		j.finished = rec.FinishedAt
 		j.errMsg = rec.Error
 		j.result = rec.Result
+		j.degraded = rec.Degraded
 		for _, ev := range rec.Events {
 			j.events = append(j.events, streamEvent{name: ev.Name, data: ev.Data})
 		}
@@ -225,14 +263,14 @@ func recoverJob(base context.Context, rec journalRecord, p *dlearn.Problem, time
 
 // journalView snapshots the fields the job journal persists at a terminal
 // transition, under the job lock.
-func (j *Job) journalView() (state string, started, finished time.Time, errMsg string, result *wire.Result, events []journalEvent) {
+func (j *Job) journalView() (state string, started, finished time.Time, errMsg string, result *wire.Result, events []journalEvent, degraded bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	events = make([]journalEvent, len(j.events))
 	for i, ev := range j.events {
 		events[i] = journalEvent{Name: ev.name, Data: ev.data}
 	}
-	return j.state, j.started, j.finished, j.errMsg, j.result, events
+	return j.state, j.started, j.finished, j.errMsg, j.result, events, j.degraded
 }
 
 // Status snapshots the job for GET /v1/jobs/{id}.
@@ -249,6 +287,7 @@ func (j *Job) Status() wire.JobStatus {
 		Events:      len(j.events),
 		Error:       j.errMsg,
 		Result:      j.result,
+		Degraded:    j.degraded,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"dlearn/internal/fault"
 	"dlearn/internal/server/wire"
 )
 
@@ -53,11 +54,18 @@ type journalRecord struct {
 	// fingerprint.
 	ResultKey string         `json:"result_key,omitempty"`
 	Events    []journalEvent `json:"events,omitempty"`
+	// Degraded marks a job whose persistence degraded mid-flight (a journal
+	// or snapshot write failed and the server carried on in memory), so the
+	// flag survives a restart along with the rest of the record.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // journal persists job records in one directory, one file per job ID.
 type journal struct {
 	dir string
+	// faults, when non-nil, injects write failures at the "journal.admit"
+	// (queued record) and "journal.finish" (terminal rewrite) seams.
+	faults *fault.Injector
 }
 
 // openJournal prepares a journal rooted at dir, creating the directory so an
@@ -80,6 +88,18 @@ func (jl *journal) save(rec journalRecord) error {
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("server: encoding journal record %s: %w", rec.ID, err)
+	}
+	point := "journal.finish"
+	if rec.State == wire.StateQueued {
+		point = "journal.admit"
+	}
+	if f := jl.faults.Fire(point); f != nil {
+		if f.Kind == fault.KindTorn {
+			// A torn record under the final name — what a crash mid-write can
+			// leave on a non-atomic filesystem. load sets it aside as .corrupt.
+			_ = os.WriteFile(jl.path(rec.ID), f.Torn(data), 0o644)
+		}
+		return f.Err()
 	}
 	tmp, err := os.CreateTemp(jl.dir, rec.ID+".tmp-*")
 	if err != nil {
@@ -109,19 +129,19 @@ func (jl *journal) remove(id string) {
 }
 
 // load reads every record in the journal. Corrupt or unreadable records are
-// renamed aside with a .corrupt suffix and skipped — one damaged file must
-// not take down recovery of the rest. Records are returned sorted by
-// submission time (ties broken by ID) so re-enqueued jobs keep their
-// original admission order.
-func (jl *journal) load() ([]journalRecord, error) {
+// renamed aside with a .corrupt suffix, skipped and counted — one damaged
+// file must not take down recovery of the rest, and the count surfaces in
+// /v1/stats so set-aside records are never silently dropped. Records are
+// returned sorted by submission time (ties broken by ID) so re-enqueued jobs
+// keep their original admission order.
+func (jl *journal) load() (recs []journalRecord, corrupt int, err error) {
 	entries, err := os.ReadDir(jl.dir)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return nil, 0, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("server: reading job journal: %w", err)
+		return nil, 0, fmt.Errorf("server: reading job journal: %w", err)
 	}
-	var recs []journalRecord
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, jobFileExt) {
@@ -136,6 +156,7 @@ func (jl *journal) load() ([]journalRecord, error) {
 		if json.Unmarshal(data, &rec) != nil || rec.ID == "" ||
 			rec.ID+jobFileExt != name {
 			os.Rename(path, path+".corrupt")
+			corrupt++
 			continue
 		}
 		recs = append(recs, rec)
@@ -146,5 +167,34 @@ func (jl *journal) load() ([]journalRecord, error) {
 		}
 		return recs[i].ID < recs[j].ID
 	})
-	return recs, nil
+	return recs, corrupt, nil
+}
+
+// truncateEvents caps a record's serialized event log at maxBytes, dropping
+// the oldest events first and prepending a wire.EventLogTruncated marker so a
+// replaying client can tell the log is partial. The terminal event always
+// survives (the cap is applied to the front of the log). maxBytes <= 0 means
+// unbounded.
+func truncateEvents(events []journalEvent, maxBytes int) []journalEvent {
+	if maxBytes <= 0 {
+		return events
+	}
+	total := 0
+	sizes := make([]int, len(events))
+	for i, ev := range events {
+		sizes[i] = len(ev.Name) + len(ev.Data) + 32 // field names, quoting, commas
+		total += sizes[i]
+	}
+	if total <= maxBytes {
+		return events
+	}
+	drop := 0
+	for drop < len(events)-1 && total > maxBytes {
+		total -= sizes[drop]
+		drop++
+	}
+	marker, _ := json.Marshal(map[string]int{"dropped": drop})
+	out := make([]journalEvent, 0, len(events)-drop+1)
+	out = append(out, journalEvent{Name: wire.EventLogTruncated, Data: marker})
+	return append(out, events[drop:]...)
 }

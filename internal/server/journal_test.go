@@ -141,11 +141,17 @@ func TestJournalRerunsInterruptedJobs(t *testing.T) {
 }
 
 // TestJournalSetsAsideCorruptRecords writes garbage into the journal
-// directory: boot must succeed, rename the damaged file aside and recover
-// nothing from it.
+// directory: boot must succeed, rename the damaged files aside, recover
+// nothing from them — and count every one in /v1/stats and /readyz, so
+// set-aside records are never silently dropped.
 func TestJournalSetsAsideCorruptRecords(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "deadbeef.job"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A structurally valid record whose ID does not match its filename is
+	// just as corrupt as garbage bytes.
+	if err := os.WriteFile(filepath.Join(dir, "cafef00d.job"), []byte(`{"id":"other"}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	s, err := New(Config{JobDir: dir})
@@ -154,10 +160,113 @@ func TestJournalSetsAsideCorruptRecords(t *testing.T) {
 	}
 	defer s.Shutdown(context.Background())
 	if st := s.Stats(); st.RecoveredJobs != 0 {
-		t.Errorf("recovered %d jobs from a corrupt record", st.RecoveredJobs)
+		t.Errorf("recovered %d jobs from corrupt records", st.RecoveredJobs)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "deadbeef.job.corrupt")); err != nil {
-		t.Errorf("corrupt record was not set aside: %v", err)
+	for _, name := range []string{"deadbeef.job.corrupt", "cafef00d.job.corrupt"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("corrupt record was not set aside: %v", err)
+		}
+	}
+	if st := s.Stats(); st.JournalCorruptRecords != 2 {
+		t.Errorf("stats count %d corrupt records, want 2", st.JournalCorruptRecords)
+	}
+	if rd := s.Ready(); rd.JournalCorruptRecords != 2 {
+		t.Errorf("readyz reports %d corrupt records, want 2", rd.JournalCorruptRecords)
+	}
+}
+
+// TestTruncateEvents pins the compaction helper: under the cap the log is
+// untouched; over it the oldest events are dropped behind a log_truncated
+// marker carrying the drop count, and the terminal event always survives.
+func TestTruncateEvents(t *testing.T) {
+	mkEvents := func(n int) []journalEvent {
+		evs := make([]journalEvent, n)
+		for i := range evs {
+			evs[i] = journalEvent{Name: "progress", Data: []byte(`{"i":` + string(rune('0'+i%10)) + `}`)}
+		}
+		evs[n-1] = journalEvent{Name: wire.EventResult, Data: []byte(`{"definition":"d"}`)}
+		return evs
+	}
+
+	if got := truncateEvents(mkEvents(4), 0); len(got) != 4 {
+		t.Errorf("cap 0 (unbounded) truncated to %d events", len(got))
+	}
+	if got := truncateEvents(mkEvents(4), 1<<20); len(got) != 4 {
+		t.Errorf("roomy cap truncated to %d events", len(got))
+	}
+
+	evs := mkEvents(50)
+	got := truncateEvents(evs, 400)
+	if len(got) >= len(evs) {
+		t.Fatalf("tight cap kept all %d events", len(got))
+	}
+	if got[0].Name != wire.EventLogTruncated {
+		t.Fatalf("first event = %q, want the %s marker", got[0].Name, wire.EventLogTruncated)
+	}
+	var marker struct {
+		Dropped int `json:"dropped"`
+	}
+	if err := json.Unmarshal(got[0].Data, &marker); err != nil || marker.Dropped == 0 {
+		t.Errorf("marker data = %s (%v), want a positive dropped count", got[0].Data, err)
+	}
+	if marker.Dropped+len(got)-1 != len(evs) {
+		t.Errorf("dropped %d + kept %d != original %d", marker.Dropped, len(got)-1, len(evs))
+	}
+	if got[len(got)-1].Name != wire.EventResult {
+		t.Errorf("terminal event did not survive truncation")
+	}
+
+	// Even a cap smaller than any single event keeps the terminal event.
+	got = truncateEvents(mkEvents(3), 1)
+	if got[len(got)-1].Name != wire.EventResult {
+		t.Errorf("pathological cap lost the terminal event")
+	}
+}
+
+// TestJournalTruncatesEventLogAcrossRestart runs a job under a tight event
+// cap: the live stream stays complete, but the journalled replay a restarted
+// server serves opens with a log_truncated marker and still ends with the
+// full terminal result.
+func TestJournalTruncatesEventLogAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, client1, stop1 := bootServer(t, Config{MaxConcurrent: 1, JobDir: dir, MaxEventLogBytes: 300})
+	first, err := client1.Learn(context.Background(), serveProblem(t), serveOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobID := findOnlyJobID(t, s1)
+	live := streamFrom(t, client1.BaseURL, jobID, "")
+	if live[0].Name == wire.EventLogTruncated {
+		t.Fatal("live stream was truncated; only restart replays may be")
+	}
+	stop1()
+
+	_, client2, stop2 := bootServer(t, Config{MaxConcurrent: 1, JobDir: dir})
+	defer stop2()
+	replay := streamFrom(t, client2.BaseURL, jobID, "")
+	if len(replay) == 0 || replay[0].Name != wire.EventLogTruncated {
+		t.Fatalf("restart replay does not open with the %s marker (got %d events)",
+			wire.EventLogTruncated, len(replay))
+	}
+	if len(replay) >= len(live) {
+		t.Errorf("replay kept %d events of a %d-event log despite the cap", len(replay), len(live))
+	}
+	var marker struct {
+		Dropped int `json:"dropped"`
+	}
+	if err := json.Unmarshal(replay[0].Data, &marker); err != nil || marker.Dropped == 0 {
+		t.Errorf("marker data = %s (%v)", replay[0].Data, err)
+	}
+	if marker.Dropped+len(replay)-1 != len(live) {
+		t.Errorf("dropped %d + replayed %d != live log %d", marker.Dropped, len(replay)-1, len(live))
+	}
+	last := replay[len(replay)-1]
+	if last.Name != wire.EventResult {
+		t.Fatalf("truncated replay ends with %q, want the terminal result", last.Name)
+	}
+	var res wire.Result
+	if err := json.Unmarshal(last.Data, &res); err != nil || res.Definition != first.Definition {
+		t.Errorf("truncated replay's terminal result differs from the original (%v)", err)
 	}
 }
 

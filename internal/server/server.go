@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,7 @@ import (
 
 	"dlearn"
 	"dlearn/internal/core"
+	"dlearn/internal/fault"
 	"dlearn/internal/observe"
 	"dlearn/internal/persist"
 	"dlearn/internal/server/wire"
@@ -98,6 +100,26 @@ type Config struct {
 	// tenant can never be served another tenant's preparation unless they
 	// submitted bit-identical inputs — in which case the dedup is the point.
 	Store dlearn.SnapshotStore
+	// MaxEventLogBytes caps the serialized event log a terminal journal
+	// rewrite persists; past it the oldest events are dropped and the
+	// replayed stream starts with a log_truncated marker event. Zero means
+	// 1 MiB; negative disables the cap. Live streams are never truncated —
+	// only what a restarted server can replay.
+	MaxEventLogBytes int
+	// SSEBufferEvents bounds the per-subscriber event buffer between the
+	// feeder following a job's log and the connection writing it out. A
+	// subscriber whose buffer stays full past SSEWriteTimeout is dropped (it
+	// reconnects with Last-Event-ID and replays what it missed) so one stalled
+	// consumer can never pin the stream's memory. Zero means 64.
+	SSEBufferEvents int
+	// SSEWriteTimeout bounds both a single SSE write and the grace a
+	// subscriber with a full buffer gets before being dropped. Zero means 10
+	// seconds.
+	SSEWriteTimeout time.Duration
+	// Faults, when non-nil, injects scheduled faults at the server's I/O
+	// seams (journal writes, the SSE writer, the job worker). Test hook; nil
+	// in production costs one nil check per seam.
+	Faults *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +140,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRetainedJobs <= 0 {
 		c.MaxRetainedJobs = 256
+	}
+	if c.MaxEventLogBytes == 0 {
+		c.MaxEventLogBytes = 1 << 20
+	}
+	if c.SSEBufferEvents <= 0 {
+		c.SSEBufferEvents = 64
+	}
+	if c.SSEWriteTimeout <= 0 {
+		c.SSEWriteTimeout = 10 * time.Second
 	}
 	return c
 }
@@ -150,8 +181,11 @@ type Server struct {
 
 	running atomic.Int64
 
-	// recovered counts jobs restored from the journal at boot.
-	recovered int
+	// recovered counts jobs restored from the journal at boot;
+	// journalCorrupt counts records set aside as .corrupt at the same boot.
+	// Both are written once in New, before any reader exists.
+	recovered      int
+	journalCorrupt int
 
 	// Admission and outcome counters (see wire.Stats).
 	submitted         atomic.Int64
@@ -167,6 +201,14 @@ type Server struct {
 	snapHits   atomic.Int64
 	snapMisses atomic.Int64
 	sched      *observe.SchedulerStats
+
+	// Failure-hardening counters (see wire.Stats). The server keeps serving
+	// through every one of these conditions; the counters make them visible.
+	degradedJobs          atomic.Int64
+	journalWriteFailures  atomic.Int64
+	snapshotWriteFailures atomic.Int64
+	sseSlowDrops          atomic.Int64
+	workerPanics          atomic.Int64
 }
 
 // New builds a server, recovers the job journal when one is configured, and
@@ -193,11 +235,13 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		jl.faults = cfg.Faults
 		s.journal = jl
-		recs, err := jl.load()
+		recs, corrupt, err := jl.load()
 		if err != nil {
 			return nil, err
 		}
+		s.journalCorrupt = corrupt
 		pending = s.recover(recs)
 	}
 
@@ -344,7 +388,15 @@ func (s *Server) Submit(tenant string, p *dlearn.Problem, opts wire.Options) (*J
 			SubmittedAt: j.submitted,
 			Problem:     wp,
 		}); err != nil {
-			return nil, fmt.Errorf("server: journalling job: %w", err)
+			// Degraded-mode admission: a failing journal must not turn away
+			// work the server can still do. The job is accepted and runs in
+			// memory as best effort — it just would not survive a restart —
+			// flagged on its status, counted in /v1/stats and announced on
+			// its event stream so the degradation is observable everywhere.
+			s.journalWriteFailures.Add(1)
+			if j.degrade("journal", err.Error()) {
+				s.degradedJobs.Add(1)
+			}
 		}
 	}
 	select {
@@ -422,16 +474,18 @@ func (s *Server) release(j *Job) {
 }
 
 // journalFinish rewrites a finished job's journal record with its terminal
-// state, result or error, and full event log. Best effort: the in-memory
-// state is already terminal, and a failed rewrite only means the job re-runs
-// after a restart — safe, because re-running a deterministic job reproduces
-// the same result.
+// state, result or error, and its event log (size-capped, oldest events
+// dropped behind a log_truncated marker). Best effort: the in-memory state
+// is already terminal, and a failed rewrite only means the job re-runs after
+// a restart — safe, because re-running a deterministic job reproduces the
+// same result — but the failure is counted and the job flagged degraded so
+// the weakened durability is visible.
 func (s *Server) journalFinish(j *Job, resultKey string) {
 	if s.journal == nil {
 		return
 	}
-	state, started, finished, errMsg, result, events := j.journalView()
-	_ = s.journal.save(journalRecord{
+	state, started, finished, errMsg, result, events, degraded := j.journalView()
+	err := s.journal.save(journalRecord{
 		ID:          j.ID,
 		Tenant:      j.Tenant,
 		State:       state,
@@ -442,11 +496,23 @@ func (s *Server) journalFinish(j *Job, resultKey string) {
 		Error:       errMsg,
 		Result:      result,
 		ResultKey:   resultKey,
-		Events:      events,
+		Events:      truncateEvents(events, s.cfg.MaxEventLogBytes),
+		Degraded:    degraded,
 	})
+	if err != nil {
+		s.journalWriteFailures.Add(1)
+		if j.degrade("journal", err.Error()) {
+			s.degradedJobs.Add(1)
+		}
+	}
 }
 
-// runJob executes one job end to end.
+// runJob executes one job end to end. A panic anywhere in the job — the
+// learner, an observer, injected by the chaos suite — is confined to the
+// job: it terminates as failed with the recovered value and stack in its
+// error (and journal record), and the worker goroutine survives to serve the
+// next job. Without the recover a single panicking job would crash the whole
+// process and every other tenant's jobs with it.
 func (s *Server) runJob(j *Job) {
 	if !j.start() {
 		// Cancelled while queued; the terminal event is already recorded.
@@ -454,13 +520,24 @@ func (s *Server) runJob(j *Job) {
 	}
 	s.running.Add(1)
 	defer s.running.Add(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			s.workerPanics.Add(1)
+			if j.fail(wire.StateFailed, fmt.Sprintf("job panicked: %v\n%s", r, debug.Stack())) {
+				s.failed.Add(1)
+				s.journalFinish(j, "")
+			}
+		}
+	}()
+	s.cfg.Faults.Panic("worker.run")
 
 	jobOpts, err := j.opts.EngineOptions()
 	if err != nil {
 		// Options were validated at admission; a failure here is a bug.
-		j.fail(wire.StateFailed, err.Error())
-		s.failed.Add(1)
-		s.journalFinish(j, "")
+		if j.fail(wire.StateFailed, err.Error()) {
+			s.failed.Add(1)
+			s.journalFinish(j, "")
+		}
 		return
 	}
 	opts := append(append([]dlearn.Option{}, s.cfg.EngineOptions...), jobOpts...)
@@ -481,9 +558,10 @@ func (s *Server) runJob(j *Job) {
 				if data, err := observe.MarshalEvent(observe.ResultCacheHit{Key: key.String(), Bytes: size}); err == nil {
 					j.appendEvent(observe.TypeResultCacheHit, data)
 				}
-				j.complete(res)
-				s.completed.Add(1)
-				s.journalFinish(j, key.String())
+				if j.complete(res) {
+					s.completed.Add(1)
+					s.journalFinish(j, key.String())
+				}
 				return
 			}
 		}
@@ -493,7 +571,8 @@ func (s *Server) runJob(j *Job) {
 	defer cancelTimeout()
 
 	obs := observe.Func(func(e observe.Event) {
-		s.countSnapshotEvents(e)
+		s.cfg.Faults.Panic("worker.observe")
+		s.countSnapshotEvents(j, e)
 		if data, err := observe.MarshalEvent(e); err == nil {
 			j.appendEvent(observe.TypeName(e), data)
 		}
@@ -509,36 +588,49 @@ func (s *Server) runJob(j *Job) {
 			s.results.put(key, res)
 			resultKey = key.String()
 		}
-		j.complete(res)
-		s.completed.Add(1)
-		s.journalFinish(j, resultKey)
+		if j.complete(res) {
+			s.completed.Add(1)
+			s.journalFinish(j, resultKey)
+		}
 	case context.Cause(j.ctx) == errCancelledByClient:
-		j.fail(wire.StateCancelled, errCancelledByClient.Error())
-		s.cancelled.Add(1)
-		s.journalFinish(j, "")
+		if j.fail(wire.StateCancelled, errCancelledByClient.Error()) {
+			s.cancelled.Add(1)
+			s.journalFinish(j, "")
+		}
 	case context.Cause(j.ctx) == errServerShutdown:
 		// A hard shutdown (drain deadline expired, base context cancelled)
 		// is a server-initiated cancellation, not a job failure.
-		j.fail(wire.StateCancelled, errServerShutdown.Error())
-		s.cancelled.Add(1)
-		s.journalFinish(j, "")
+		if j.fail(wire.StateCancelled, errServerShutdown.Error()) {
+			s.cancelled.Add(1)
+			s.journalFinish(j, "")
+		}
 	case errors.Is(ctx.Err(), context.DeadlineExceeded):
-		j.fail(wire.StateFailed, fmt.Sprintf("deadline exceeded after %s", j.timeout))
-		s.failed.Add(1)
-		s.journalFinish(j, "")
+		if j.fail(wire.StateFailed, fmt.Sprintf("deadline exceeded after %s", j.timeout)) {
+			s.failed.Add(1)
+			s.journalFinish(j, "")
+		}
 	default:
-		j.fail(wire.StateFailed, err.Error())
-		s.failed.Add(1)
-		s.journalFinish(j, "")
+		if j.fail(wire.StateFailed, err.Error()) {
+			s.failed.Add(1)
+			s.journalFinish(j, "")
+		}
 	}
 }
 
-func (s *Server) countSnapshotEvents(e observe.Event) {
-	switch e.(type) {
+// countSnapshotEvents aggregates the snapshot events of a run into server
+// counters; a failed snapshot write additionally degrades the job, because
+// its preparation will not be served warm to anyone until the store heals.
+func (s *Server) countSnapshotEvents(j *Job, e observe.Event) {
+	switch ev := e.(type) {
 	case observe.SnapshotHit:
 		s.snapHits.Add(1)
 	case observe.SnapshotMiss:
 		s.snapMisses.Add(1)
+	case observe.SnapshotWriteFailed:
+		s.snapshotWriteFailures.Add(1)
+		if j.degrade("snapshot", ev.Error) {
+			s.degradedJobs.Add(1)
+		}
 	}
 }
 
@@ -570,6 +662,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// Ready reports whether the server accepts new submissions, plus the
+// degradation signals /readyz exposes alongside the verdict.
+func (s *Server) Ready() wire.Ready {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return wire.Ready{
+		Ready:                 !draining,
+		Draining:              draining,
+		DegradedJobs:          s.degradedJobs.Load(),
+		JournalCorruptRecords: s.journalCorrupt,
+	}
+}
+
 // Stats snapshots the server counters for /v1/stats.
 func (s *Server) Stats() wire.Stats {
 	s.mu.Lock()
@@ -595,6 +701,13 @@ func (s *Server) Stats() wire.Stats {
 
 		ResultCacheHits: s.resultCacheHits.Load(),
 		RecoveredJobs:   s.recovered,
+
+		DegradedJobs:          s.degradedJobs.Load(),
+		JournalWriteFailures:  s.journalWriteFailures.Load(),
+		SnapshotWriteFailures: s.snapshotWriteFailures.Load(),
+		JournalCorruptRecords: s.journalCorrupt,
+		SSESlowDrops:          s.sseSlowDrops.Load(),
+		WorkerPanics:          s.workerPanics.Load(),
 
 		SnapshotHits:       s.snapHits.Load(),
 		SnapshotMisses:     s.snapMisses.Load(),

@@ -24,6 +24,11 @@ const (
 	// EventError is the terminal event of a failed or cancelled job; its
 	// data is a JobError.
 	EventError = "error"
+	// EventLogTruncated is the marker event prepended to a replayed stream
+	// whose journalled event log was size-capped: the oldest events were
+	// dropped, and its data carries {"dropped": N}. Live streams never emit
+	// it — only replays of restored jobs can be partial.
+	EventLogTruncated = "log_truncated"
 )
 
 // JobAccepted is the body of a successful POST /v1/jobs response.
@@ -113,6 +118,24 @@ type JobStatus struct {
 	Events int     `json:"events"`
 	Error  string  `json:"error,omitempty"`
 	Result *Result `json:"result,omitempty"`
+	// Degraded marks a job whose persistence write failed mid-flight: the
+	// job ran (or is running) in memory as best effort, but would not survive
+	// a server restart the way a fully journalled job does.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// Ready is the body of GET /readyz: whether the server accepts new jobs, and
+// the degradation signals an orchestrator should alarm on even while ready.
+type Ready struct {
+	Ready bool `json:"ready"`
+	// Draining means the server is shutting down and rejects submissions.
+	Draining bool `json:"draining"`
+	// DegradedJobs counts jobs downgraded to best-effort in-memory operation
+	// after a persistence write failure.
+	DegradedJobs int64 `json:"degraded_jobs"`
+	// JournalCorruptRecords counts journal records set aside as .corrupt at
+	// the last boot.
+	JournalCorruptRecords int `json:"journal_corrupt_records"`
 }
 
 // Stats is the body of GET /v1/stats.
@@ -153,6 +176,30 @@ type Stats struct {
 	// RecoveredJobs counts jobs restored from the job journal at boot —
 	// finished jobs returned to the registry plus interrupted jobs re-queued.
 	RecoveredJobs int `json:"recovered_jobs"`
+
+	// Failure-hardening counters. A healthy server holds all of these at
+	// zero; any of them moving is a signal worth alarming on even though the
+	// server keeps serving through all of the underlying conditions.
+	//
+	// DegradedJobs counts jobs downgraded to best-effort in-memory operation
+	// after a journal or snapshot write failed on their behalf.
+	DegradedJobs int64 `json:"degraded_jobs"`
+	// JournalWriteFailures and SnapshotWriteFailures count failed
+	// persistence writes (each may degrade at most one job, but a job with
+	// many snapshot writes can fail several times).
+	JournalWriteFailures  int64 `json:"journal_write_failures"`
+	SnapshotWriteFailures int64 `json:"snapshot_write_failures"`
+	// JournalCorruptRecords counts journal records set aside as .corrupt at
+	// the last boot instead of being recovered.
+	JournalCorruptRecords int `json:"journal_corrupt_records"`
+	// SSESlowDrops counts event-stream subscribers dropped for falling too
+	// far behind; a dropped client reconnects with Last-Event-ID and replays
+	// what it missed.
+	SSESlowDrops int64 `json:"sse_slow_drops"`
+	// WorkerPanics counts jobs that panicked inside the learner; each one
+	// terminates as a failed job with the stack in its error, and the worker
+	// keeps serving.
+	WorkerPanics int64 `json:"worker_panics"`
 
 	// Candidate-scheduler telemetry aggregated across every job served.
 	SchedulerBatches       int64   `json:"scheduler_batches"`

@@ -47,6 +47,10 @@ type (
 	// ResultCacheHit is emitted by dlearn-serve when a job's result was
 	// served from the server's result cache instead of running the engine.
 	ResultCacheHit = observe.ResultCacheHit
+	// PersistenceDegraded is emitted by dlearn-serve when a persistence
+	// write failed and the job was downgraded to best-effort in-memory
+	// operation instead of failing.
+	PersistenceDegraded = observe.PersistenceDegraded
 	// RunFinished is emitted once, just before Learn returns.
 	RunFinished = observe.RunFinished
 )
